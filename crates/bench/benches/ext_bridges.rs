@@ -1,0 +1,24 @@
+//! Extension: the §7.1 bridge-distribution proposal, evaluated.
+//!
+//! The paper proposes (and leaves as future work in §8) using newly
+//! joined peers — optionally combined with firewalled peers — as bridges
+//! for censored users. This bench runs the comparison against a
+//! persistent 10-router censor.
+
+use i2p_measure::bridges::{compare_strategies, render_bridge_comparison};
+use i2p_measure::fleet::Fleet;
+
+fn main() {
+    let world = i2p_bench::world(55);
+    let fleet = Fleet::alternating(20);
+    i2p_bench::emit("Extension: bridge distribution", || {
+        let mut out = String::new();
+        for horizon in [1u64, 5, 10] {
+            let outcomes =
+                compare_strategies(&world, &fleet, 40, horizon, 200, 10, i2p_bench::seed());
+            out.push_str(&render_bridge_comparison(&outcomes));
+            out.push('\n');
+        }
+        out
+    });
+}

@@ -1,0 +1,32 @@
+//! Extension: quantifying the §7.2 escalation from blocking to
+//! deanonymization.
+//!
+//! After blocking >95 % of the victim's peers and whitelisting its own
+//! routers, the censor waits for the victim's tunnels to collapse onto
+//! attacker-controlled hops. This bench sweeps the number of injected
+//! routers at several blocking intensities.
+
+use i2p_measure::attack::{render_attack_sweep, simulate_attack};
+use i2p_measure::fleet::Fleet;
+
+fn main() {
+    let world = i2p_bench::world(40);
+    let fleet = Fleet::alternating(20);
+    i2p_bench::emit("Extension: deanonymization setup", || {
+        let mut out = String::new();
+        for (censor_routers, window) in [(0usize, 1u64), (6, 1), (20, 5)] {
+            out.push_str(&format!(
+                "censor: {censor_routers} routers, {window}-day window\n"
+            ));
+            let sweep: Vec<_> = [2usize, 5, 10, 20, 40]
+                .iter()
+                .map(|&m| {
+                    simulate_attack(&world, &fleet, 35, censor_routers, window, m, 5_000, i2p_bench::seed())
+                })
+                .collect();
+            out.push_str(&render_attack_sweep(&sweep));
+            out.push('\n');
+        }
+        out
+    });
+}

@@ -1,0 +1,17 @@
+//! Extension: the §4.3 ground-truth critique of stats.i2p, demonstrated.
+//!
+//! One average (L-class) non-floodfill router with a 30-day rolling
+//! unique-peer count — the methodology behind the statistics Liu et al.
+//! compared against — is biased in both directions at once: the rolling
+//! window overcounts churned-out peers while the weak vantage
+//! undercounts the live network.
+
+use i2p_measure::statsite::{render_stats_site, stats_site_estimate};
+
+fn main() {
+    let world = i2p_bench::world(40);
+    i2p_bench::emit("Extension: stats.i2p critique", || {
+        let est = stats_site_estimate(&world, 35);
+        render_stats_site(&est)
+    });
+}

@@ -1,0 +1,23 @@
+//! Extension: §2.2.2's censorship-strategy comparison, quantified.
+//!
+//! Port blocking catches everything I2P but shreds legitimate traffic;
+//! DPI is precise against legacy NTCP and useless against NTCP2;
+//! address-based filtering is transport-agnostic and collateral-free —
+//! which is exactly why the paper evaluates it.
+
+use i2p_crypto::DetRng;
+use i2p_measure::strategies::{render_strategies, score_strategies, synthetic_mix};
+
+fn main() {
+    i2p_bench::emit("Extension: strategy comparison", || {
+        let mut rng = DetRng::new(i2p_bench::seed());
+        let mut out = String::new();
+        for (label, ntcp2_share) in [("legacy NTCP fleet", 0.0), ("NTCP2-obfuscated fleet", 1.0)] {
+            let flows = synthetic_mix(20_000, 200_000, ntcp2_share, 0.95, &mut rng);
+            out.push_str(&format!("traffic mix: {label}\n"));
+            out.push_str(&render_strategies(&score_strategies(&flows)));
+            out.push('\n');
+        }
+        out
+    });
+}

@@ -1,0 +1,16 @@
+//! Figure 2: peers observed by one high-end (8 MB/s) router over ten
+//! days — five in floodfill mode, five in non-floodfill mode (§4.1).
+//!
+//! Paper anchor: both modes hover around 15–16 K of ≈32 K daily peers,
+//! non-floodfill slightly higher.
+
+use i2p_measure::population::single_router_experiment;
+use i2p_measure::report::render_fig2;
+
+fn main() {
+    let world = i2p_bench::world(10);
+    i2p_bench::emit("Figure 2", || {
+        let series = single_router_experiment(&world, 0xF16_02);
+        render_fig2(&series)
+    });
+}

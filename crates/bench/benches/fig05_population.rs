@@ -1,0 +1,24 @@
+//! Figure 5: number of unique peers and IP addresses per day over the
+//! three-month study (§5.1).
+//!
+//! Paper anchors: ≈30.5 K daily peers, total unique IPs *below* the peer
+//! count (because ~15 K peers publish no address), IPv6 well below IPv4.
+
+use i2p_measure::fleet::Fleet;
+use i2p_measure::population::daily_census;
+use i2p_measure::report::render_fig5;
+
+fn main() {
+    let days = i2p_bench::days();
+    let world = i2p_bench::world(days);
+    let fleet = Fleet::paper_main();
+    i2p_bench::emit("Figure 5", || {
+        // Sample every 4th day (the plot's visual density) to keep the
+        // bench brisk; every day participates in the other analyses.
+        let series: Vec<_> = (0..days)
+            .step_by(4)
+            .map(|d| (d, daily_census(&world, &fleet, d)))
+            .collect();
+        render_fig5(&series)
+    });
+}

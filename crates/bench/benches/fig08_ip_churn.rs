@@ -1,0 +1,19 @@
+//! Figure 8: how many IP addresses peers are associated with over three
+//! months (§5.2.2).
+//!
+//! Paper anchors: 45 % of known-IP peers keep one address, 55 % have at
+//! least two, and ≈460 peers (0.65 %) exceed one hundred.
+
+use i2p_measure::fleet::Fleet;
+use i2p_measure::ipchurn::ip_churn_report;
+use i2p_measure::report::render_fig8;
+
+fn main() {
+    let days = i2p_bench::days();
+    let world = i2p_bench::world(days);
+    let fleet = Fleet::paper_main();
+    i2p_bench::emit("Figure 8", || {
+        let rep = ip_churn_report(&world, &fleet, 0..days);
+        render_fig8(&rep)
+    });
+}

@@ -1,0 +1,19 @@
+//! Figure 10: top-20 countries where I2P peers reside (§5.3.2).
+//!
+//! Paper anchors: the United States leads (≈28 K over three months);
+//! US+RU+GB+FR+CA+AU exceed 40 %; the top 20 exceed 60 %; 30 countries
+//! with poor press-freedom scores contribute ≈6 K peers, led by China.
+
+use i2p_measure::fleet::Fleet;
+use i2p_measure::geo::country_distribution;
+use i2p_measure::report::render_fig10;
+
+fn main() {
+    let days = i2p_bench::days();
+    let world = i2p_bench::world(days);
+    let fleet = Fleet::paper_main();
+    i2p_bench::emit("Figure 10", || {
+        let rep = country_distribution(&world, &fleet, 0..days);
+        render_fig10(&rep, 20)
+    });
+}

@@ -1,0 +1,18 @@
+//! Figure 11: top-20 autonomous systems where I2P peers reside (§5.3.2).
+//!
+//! Paper anchors: AS7922 (Comcast) leads with >8 K peers; the top 20
+//! ASes hold >30 % of all peers.
+
+use i2p_measure::fleet::Fleet;
+use i2p_measure::geo::as_distribution;
+use i2p_measure::report::render_fig11;
+
+fn main() {
+    let days = i2p_bench::days();
+    let world = i2p_bench::world(days);
+    let fleet = Fleet::paper_main();
+    i2p_bench::emit("Figure 11", || {
+        let rep = as_distribution(&world, &fleet, 0..days);
+        render_fig11(&rep, 20)
+    });
+}

@@ -1,0 +1,19 @@
+//! Figure 14: percentage of timed-out requests and page-load latency in
+//! the presence of blockage (§6.2.3).
+//!
+//! Runs the protocol-level TestNet: a victim fetches a small eepsite ten
+//! times per blocking rate while its upstream null-routes the blocked
+//! peer IPs. Paper anchors: ≈3.4 s unblocked; >20 s and 40 % timeouts at
+//! 65 %; >40 s and >60 % timeouts through 70–90 %; 95–100 % timeouts
+//! beyond 90 %.
+
+use i2p_measure::report::render_fig14;
+use i2p_measure::usability::{evaluate, UsabilityConfig};
+
+fn main() {
+    i2p_bench::emit("Figure 14", || {
+        let cfg = UsabilityConfig { seed: i2p_bench::seed(), ..Default::default() };
+        let points = evaluate(&cfg);
+        render_fig14(&points)
+    });
+}

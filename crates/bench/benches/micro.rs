@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks for the hot primitives underneath the
+//! reproduction: hashing, routing keys, k-bucket lookups, RouterInfo
+//! codec, tunnel building blocks, blocklist matching and the
+//! observation-model draw.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use i2p_crypto::{sha256, ChaCha20, DetRng};
+use i2p_data::addr::{RouterAddress, TransportStyle};
+use i2p_data::caps::{BandwidthClass, Caps};
+use i2p_data::ident::RouterIdentity;
+use i2p_data::{Hash256, PeerIp, RouterInfo, SimTime};
+use i2p_netdb::kbucket::KBucketTable;
+use i2p_netdb::routing_key::RoutingKey;
+use i2p_netdb::store::NetDbStore;
+use i2p_transport::BlockList;
+use i2p_tunnel::build::TunnelBuildRequest;
+use std::hint::black_box;
+
+fn bench_crypto(c: &mut Criterion) {
+    let data = vec![0xABu8; 1024];
+    c.bench_function("sha256_1k", |b| b.iter(|| sha256(black_box(&data))));
+
+    let key = [7u8; 32];
+    let nonce = [3u8; 12];
+    c.bench_function("chacha20_4k", |b| {
+        b.iter_batched(
+            || vec![0u8; 4096],
+            |mut buf| ChaCha20::xor(&key, &nonce, &mut buf),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut rng = DetRng::new(1);
+    c.bench_function("detrng_gamma", |b| b.iter(|| black_box(rng.gamma(0.45, 2.2))));
+}
+
+fn bench_netdb(c: &mut Criterion) {
+    let hashes: Vec<Hash256> = (0u32..1000).map(|i| Hash256::digest(&i.to_be_bytes())).collect();
+    c.bench_function("routing_key_daily", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % hashes.len();
+            RoutingKey::for_day(black_box(&hashes[i]), 42)
+        })
+    });
+
+    let mut table = KBucketTable::new(Hash256::digest(b"local"));
+    for h in &hashes {
+        table.insert(*h);
+    }
+    let target = Hash256::digest(b"target");
+    c.bench_function("kbucket_closest3_of_1000", |b| {
+        b.iter(|| table.closest(black_box(&target), 3))
+    });
+
+    c.bench_function("closest_floodfills_of_1000", |b| {
+        b.iter(|| NetDbStore::closest_floodfills(&target, black_box(&hashes), SimTime(0), 3))
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut rng = DetRng::new(5);
+    let (ident, secrets) = RouterIdentity::generate(&mut rng);
+    let ri = RouterInfo::new_signed(
+        ident,
+        &secrets,
+        SimTime(1),
+        vec![RouterAddress::published(TransportStyle::Ntcp, PeerIp::V4(0x0A00_0001), 12345)],
+        Caps::standard(BandwidthClass::O),
+        "0.9.34",
+    );
+    let bytes = ri.encode();
+    c.bench_function("routerinfo_encode", |b| b.iter(|| black_box(&ri).encode()));
+    c.bench_function("routerinfo_decode", |b| b.iter(|| RouterInfo::decode(black_box(&bytes)).unwrap()));
+    c.bench_function("routerinfo_verify", |b| b.iter(|| black_box(&ri).verify()));
+}
+
+fn bench_tunnel(c: &mut Criterion) {
+    let mut rng = DetRng::new(9);
+    let hops: Vec<_> = (1u64..=3)
+        .map(|i| {
+            let kp = i2p_crypto::ElGamalKeyPair::from_secret_material(i);
+            (Hash256::digest(&i.to_be_bytes()), kp.public)
+        })
+        .collect();
+    c.bench_function("tunnel_build_request_3hop", |b| {
+        b.iter(|| TunnelBuildRequest::create(7, black_box(&hops), &mut rng))
+    });
+}
+
+fn bench_censor(c: &mut Criterion) {
+    let mut bl = BlockList::new(30);
+    for i in 0..100_000u32 {
+        bl.observe(PeerIp::V4(i), (i % 30) as u64);
+    }
+    c.bench_function("blocklist_is_blocked_100k", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(7919);
+            bl.is_blocked(black_box(&PeerIp::V4(i % 120_000)), 29)
+        })
+    });
+}
+
+criterion_group!(benches, bench_crypto, bench_netdb, bench_codec, bench_tunnel, bench_censor);
+criterion_main!(benches);

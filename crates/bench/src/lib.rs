@@ -1,0 +1,64 @@
+//! # i2p-bench — shared helpers for the figure/table benches
+//!
+//! Every bench target regenerates one table or figure from Hoang et al.
+//! (IMC 2018) and prints it in the paper's layout. The world scale and
+//! seed can be overridden without recompiling:
+//!
+//! * `I2PSCOPE_SCALE` — population scale (default **1.0** = the paper's
+//!   ≈32 K daily peers; use e.g. `0.1` for quick runs).
+//! * `I2PSCOPE_SEED` — master seed (default 20180201).
+//! * `I2PSCOPE_DAYS` — study days for the long-window figures
+//!   (default 89, the paper's three months).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use i2p_sim::world::{World, WorldConfig};
+use std::time::Instant;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// The configured scale.
+pub fn scale() -> f64 {
+    env_f64("I2PSCOPE_SCALE", 1.0)
+}
+
+/// The configured seed.
+pub fn seed() -> u64 {
+    env_u64("I2PSCOPE_SEED", 20_180_201)
+}
+
+/// The configured study length.
+pub fn days() -> u64 {
+    env_u64("I2PSCOPE_DAYS", 89)
+}
+
+/// Generates a world covering `days_needed` study days at the configured
+/// scale/seed.
+pub fn world(days_needed: u64) -> World {
+    let cfg = WorldConfig { days: days_needed, scale: scale(), seed: seed() };
+    let t = Instant::now();
+    let w = World::generate(cfg);
+    eprintln!(
+        "[i2p-bench] world: {} peers total, {} online on day 0, scale {}, generated in {:.2?}",
+        w.total_peers(),
+        w.online_count(0),
+        cfg.scale,
+        t.elapsed()
+    );
+    w
+}
+
+/// Prints a figure with a standard banner and wall-clock footer.
+pub fn emit(name: &str, body: impl FnOnce() -> String) {
+    let t = Instant::now();
+    let text = body();
+    println!("{text}");
+    println!("[i2p-bench] {name} regenerated in {:.2?}\n", t.elapsed());
+}

@@ -1,0 +1,154 @@
+//! ChaCha20 stream cipher (RFC 8439 block function and keystream).
+//!
+//! In the real I2P, tunnel-layer and garlic end-to-end encryption use
+//! AES-256; this emulator uses ChaCha20 for all symmetric layers. The
+//! observable properties the paper's experiments depend on — payloads are
+//! opaque to middleboxes, layered encryption peels hop by hop — are
+//! preserved. (I2P itself adopted ChaCha20/Poly1305 in the NTCP2 design
+//! referenced in §2.2.2 of the paper.)
+
+/// ChaCha20 keystream generator / XOR cipher.
+pub struct ChaCha20 {
+    /// The 16-word initial state (constants, key, counter, nonce).
+    state: [u32; 16],
+}
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+impl ChaCha20 {
+    /// Creates a cipher with a 256-bit key, 96-bit nonce, starting at block
+    /// counter `counter` (RFC 8439 layout).
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes([
+                key[4 * i],
+                key[4 * i + 1],
+                key[4 * i + 2],
+                key[4 * i + 3],
+            ]);
+        }
+        state[12] = counter;
+        for i in 0..3 {
+            state[13 + i] = u32::from_le_bytes([
+                nonce[4 * i],
+                nonce[4 * i + 1],
+                nonce[4 * i + 2],
+                nonce[4 * i + 3],
+            ]);
+        }
+        ChaCha20 { state }
+    }
+
+    #[inline(always)]
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    /// Produces the 64-byte keystream block for the current counter and
+    /// advances the counter.
+    fn next_block(&mut self) -> [u8; 64] {
+        let mut w = self.state;
+        for _ in 0..10 {
+            // Column rounds.
+            Self::quarter_round(&mut w, 0, 4, 8, 12);
+            Self::quarter_round(&mut w, 1, 5, 9, 13);
+            Self::quarter_round(&mut w, 2, 6, 10, 14);
+            Self::quarter_round(&mut w, 3, 7, 11, 15);
+            // Diagonal rounds.
+            Self::quarter_round(&mut w, 0, 5, 10, 15);
+            Self::quarter_round(&mut w, 1, 6, 11, 12);
+            Self::quarter_round(&mut w, 2, 7, 8, 13);
+            Self::quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let v = w[i].wrapping_add(self.state[i]);
+            out[4 * i..4 * i + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        self.state[12] = self.state[12].wrapping_add(1);
+        out
+    }
+
+    /// XORs the keystream into `data` in place (encrypt == decrypt).
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for chunk in data.chunks_mut(64) {
+            let ks = self.next_block();
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+
+    /// Convenience: one-shot XOR of `data` under `(key, nonce)`.
+    pub fn xor(key: &[u8; 32], nonce: &[u8; 12], data: &mut [u8]) {
+        ChaCha20::new(key, nonce, 1).apply(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    /// RFC 8439 §2.3.2 block-function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut c = ChaCha20::new(&key, &nonce, 1);
+        let block = c.next_block();
+        assert_eq!(
+            hex(&block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    /// RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encrypt_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut data = *b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let mut c = ChaCha20::new(&key, &nonce, 1);
+        c.apply(&mut data);
+        assert_eq!(
+            hex(&data[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+    }
+
+    #[test]
+    fn roundtrip() {
+        let key = [7u8; 32];
+        let nonce = [3u8; 12];
+        let original: Vec<u8> = (0..300u32).map(|i| (i * 7 % 256) as u8).collect();
+        let mut data = original.clone();
+        ChaCha20::xor(&key, &nonce, &mut data);
+        assert_ne!(data, original);
+        ChaCha20::xor(&key, &nonce, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let key = [1u8; 32];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        ChaCha20::xor(&key, &[0u8; 12], &mut a);
+        ChaCha20::xor(&key, &[1u8; 12], &mut b);
+        assert_ne!(a, b);
+    }
+}

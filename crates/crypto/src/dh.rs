@@ -1,0 +1,144 @@
+//! Diffie–Hellman over a simulation-grade prime-field group.
+//!
+//! The group is `Z_p^*` with the Mersenne prime `p = 2^61 − 1` and
+//! generator `g = 37` (verified to be a primitive root by the unit tests,
+//! which check `g^((p−1)/f) ≠ 1` for every prime factor `f` of `p − 1`).
+//!
+//! The NTCP-style transport (see `i2p-transport`) performs a DH exchange in
+//! its fixed-size handshake, mirroring the real NTCP handshake whose four
+//! messages have the fingerprintable lengths 288/304/448/48 bytes
+//! (Hoang et al. §2.2.2).
+
+use crate::sha256::sha256;
+
+/// The group modulus: the Mersenne prime `2^61 − 1`.
+pub const MODULUS: u64 = (1u64 << 61) - 1;
+/// The group generator (a primitive root modulo [`MODULUS`]).
+pub const GENERATOR: u64 = 37;
+
+/// Modular multiplication in `Z_p` using 128-bit intermediates.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, p: u64) -> u64 {
+    ((a as u128 * b as u128) % p as u128) as u64
+}
+
+/// Modular exponentiation `base^exp mod p` (square-and-multiply).
+pub fn pow_mod(mut base: u64, mut exp: u64, p: u64) -> u64 {
+    let mut acc: u64 = 1;
+    base %= p;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, p);
+        }
+        base = mul_mod(base, base, p);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse via Fermat's little theorem (`p` prime, `a ≠ 0`).
+pub fn inv_mod(a: u64, p: u64) -> u64 {
+    debug_assert!(a % p != 0, "zero has no inverse");
+    pow_mod(a, p - 2, p)
+}
+
+/// A DH public key (`g^x mod p`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DhPublic(pub u64);
+
+/// A DH key pair.
+#[derive(Clone, Debug)]
+pub struct DhKeyPair {
+    secret: u64,
+    /// The public element `g^secret`.
+    pub public: DhPublic,
+}
+
+/// A derived shared secret, hashed to 32 bytes for use as a symmetric key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SharedSecret(pub [u8; 32]);
+
+impl DhKeyPair {
+    /// Derives a key pair from 8 bytes of secret material.
+    ///
+    /// The secret is reduced into `[2, p−2]`; callers supply randomness
+    /// from their [`crate::DetRng`] stream.
+    pub fn from_secret_material(material: u64) -> Self {
+        let secret = 2 + material % (MODULUS - 3);
+        let public = DhPublic(pow_mod(GENERATOR, secret, MODULUS));
+        DhKeyPair { secret, public }
+    }
+
+    /// Computes the shared secret with the peer's public element.
+    pub fn shared(&self, other: DhPublic) -> SharedSecret {
+        let point = pow_mod(other.0, self.secret, MODULUS);
+        let mut material = [0u8; 16];
+        material[..8].copy_from_slice(&point.to_le_bytes());
+        material[8..].copy_from_slice(b"i2p-ntcp");
+        SharedSecret(sha256(&material))
+    }
+}
+
+impl SharedSecret {
+    /// View as a ChaCha20 key.
+    pub fn as_key(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Prime factors of `p − 1 = 2^61 − 2`.
+    const FACTORS: [u64; 12] = [2, 3, 5, 7, 11, 13, 31, 41, 61, 151, 331, 1321];
+
+    #[test]
+    fn factorization_of_group_order_is_complete() {
+        let mut n: u128 = (MODULUS - 1) as u128;
+        for f in FACTORS {
+            while n % f as u128 == 0 {
+                n /= f as u128;
+            }
+        }
+        assert_eq!(n, 1, "FACTORS must cover p-1 completely");
+    }
+
+    #[test]
+    fn generator_is_primitive_root() {
+        for f in FACTORS {
+            let e = (MODULUS - 1) / f;
+            assert_ne!(
+                pow_mod(GENERATOR, e, MODULUS),
+                1,
+                "generator has order dividing (p-1)/{f}"
+            );
+        }
+    }
+
+    #[test]
+    fn pow_mod_basics() {
+        assert_eq!(pow_mod(2, 10, 1_000_003), 1024);
+        assert_eq!(pow_mod(5, 0, 97), 1);
+        assert_eq!(pow_mod(0, 5, 97), 0);
+        // Fermat: a^(p-1) = 1 mod p.
+        assert_eq!(pow_mod(123456789, MODULUS - 1, MODULUS), 1);
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        for a in [1u64, 2, 12345, MODULUS - 2] {
+            let inv = inv_mod(a, MODULUS);
+            assert_eq!(mul_mod(a, inv, MODULUS), 1);
+        }
+    }
+
+    #[test]
+    fn dh_agreement() {
+        let alice = DhKeyPair::from_secret_material(0xDEADBEEF);
+        let bob = DhKeyPair::from_secret_material(0xC0FFEE);
+        assert_eq!(alice.shared(bob.public), bob.shared(alice.public));
+        let eve = DhKeyPair::from_secret_material(0xBAD);
+        assert_ne!(alice.shared(bob.public), alice.shared(eve.public));
+    }
+}

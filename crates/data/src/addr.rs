@@ -1,0 +1,265 @@
+//! Router transport addresses.
+//!
+//! A RouterInfo "provides contact information about a particular I2P peer,
+//! including its key, capacity, address, and port" (Hoang et al. §2.1.2).
+//! Three address situations matter to the paper's Fig. 5/6 analysis:
+//!
+//! * **published** — the RouterInfo carries a public IP and port;
+//! * **firewalled** — no valid IP field, but SSU *introducers* are listed
+//!   (third-party peers that relay hole-punching requests, §5.1);
+//! * **hidden** — neither an IP nor introducers (the router only uses
+//!   other peers' tunnels and never relays, §5.1).
+//!
+//! Ports are drawn from I2P's 9000–31000 arbitrary range (§2.2.2), which
+//! is what defeats port-based censorship.
+
+use crate::codec::{DecodeError, Reader, Writer};
+use crate::hash::Hash256;
+
+/// A peer IP address (simulated address space).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum PeerIp {
+    /// IPv4, stored as a big-endian u32.
+    V4(u32),
+    /// IPv6, stored as a big-endian u128.
+    V6(u128),
+}
+
+impl PeerIp {
+    /// Whether this is an IPv4 address.
+    pub fn is_v4(&self) -> bool {
+        matches!(self, PeerIp::V4(_))
+    }
+
+    /// A stable 64-bit digest of the address (used for hashing into
+    /// blocklists and for deterministic reseed answers).
+    pub fn digest64(&self) -> u64 {
+        match self {
+            PeerIp::V4(v) => 0x4000_0000_0000_0000 | *v as u64,
+            PeerIp::V6(v) => (*v >> 64) as u64 ^ *v as u64 ^ 0x6000_0000_0000_0000,
+        }
+    }
+}
+
+impl std::fmt::Display for PeerIp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PeerIp::V4(v) => {
+                let b = v.to_be_bytes();
+                write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+            }
+            PeerIp::V6(v) => {
+                let b = v.to_be_bytes();
+                for (i, chunk) in b.chunks(2).enumerate() {
+                    if i > 0 {
+                        write!(f, ":")?;
+                    }
+                    write!(f, "{:x}", u16::from_be_bytes([chunk[0], chunk[1]]))?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Transport protocol style.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TransportStyle {
+    /// NTCP (TCP-like, the fingerprintable 288/304/448/48 handshake).
+    Ntcp,
+    /// SSU (UDP-like, supports introducers).
+    Ssu,
+}
+
+impl TransportStyle {
+    const fn tag(self) -> u8 {
+        match self {
+            TransportStyle::Ntcp => 1,
+            TransportStyle::Ssu => 2,
+        }
+    }
+
+    const fn from_tag(t: u8) -> Option<Self> {
+        Some(match t {
+            1 => TransportStyle::Ntcp,
+            2 => TransportStyle::Ssu,
+            _ => return None,
+        })
+    }
+}
+
+/// An SSU introducer entry: a reachable third-party peer plus the tag it
+/// issued (§5.1's hole-punching description).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Introducer {
+    /// The introducer's router hash.
+    pub router: Hash256,
+    /// The introducer's public IP (this is what a censor can block).
+    pub ip: PeerIp,
+    /// The introduction tag.
+    pub tag: u32,
+}
+
+/// One transport address block inside a RouterInfo.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RouterAddress {
+    /// Transport style.
+    pub style: TransportStyle,
+    /// Published IP, if any. Firewalled and hidden peers have `None`.
+    pub ip: Option<PeerIp>,
+    /// Port in I2P's 9000–31000 range (0 when no IP is published).
+    pub port: u16,
+    /// Introducers (firewalled peers only).
+    pub introducers: Vec<Introducer>,
+    /// Relative cost (lower is preferred); kept for structural fidelity.
+    pub cost: u8,
+}
+
+/// Lowest arbitrary I2P port (§2.2.2).
+pub const PORT_MIN: u16 = 9000;
+/// Highest arbitrary I2P port (§2.2.2).
+pub const PORT_MAX: u16 = 31000;
+
+impl RouterAddress {
+    /// A published NTCP address.
+    pub fn published(style: TransportStyle, ip: PeerIp, port: u16) -> Self {
+        debug_assert!((PORT_MIN..=PORT_MAX).contains(&port));
+        RouterAddress { style, ip: Some(ip), port, introducers: Vec::new(), cost: 10 }
+    }
+
+    /// A firewalled SSU address: no IP, but introducers.
+    pub fn firewalled(introducers: Vec<Introducer>) -> Self {
+        RouterAddress { style: TransportStyle::Ssu, ip: None, port: 0, introducers, cost: 14 }
+    }
+
+    /// Encodes into `w`.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u8(self.style.tag());
+        w.u8(self.cost);
+        match self.ip {
+            None => w.u8(0),
+            Some(PeerIp::V4(v)) => {
+                w.u8(4);
+                w.u32(v);
+            }
+            Some(PeerIp::V6(v)) => {
+                w.u8(6);
+                w.u64((v >> 64) as u64);
+                w.u64(v as u64);
+            }
+        }
+        w.u16(self.port);
+        w.u8(self.introducers.len() as u8);
+        for intro in &self.introducers {
+            w.bytes(&intro.router.0);
+            match intro.ip {
+                PeerIp::V4(v) => {
+                    w.u8(4);
+                    w.u32(v);
+                }
+                PeerIp::V6(v) => {
+                    w.u8(6);
+                    w.u64((v >> 64) as u64);
+                    w.u64(v as u64);
+                }
+            }
+            w.u32(intro.tag);
+        }
+    }
+
+    /// Decodes from `r`.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let style = TransportStyle::from_tag(r.u8("address.style")?)
+            .ok_or(DecodeError::Invalid { what: "address.style" })?;
+        let cost = r.u8("address.cost")?;
+        let ip = match r.u8("address.ipkind")? {
+            0 => None,
+            4 => Some(PeerIp::V4(r.u32("address.ip4")?)),
+            6 => {
+                let hi = r.u64("address.ip6hi")? as u128;
+                let lo = r.u64("address.ip6lo")? as u128;
+                Some(PeerIp::V6(hi << 64 | lo))
+            }
+            _ => return Err(DecodeError::Invalid { what: "address.ipkind" }),
+        };
+        let port = r.u16("address.port")?;
+        let n = r.u8("address.introducer-count")? as usize;
+        let mut introducers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let router = Hash256(r.array32("introducer.router")?);
+            let ip = match r.u8("introducer.ipkind")? {
+                4 => PeerIp::V4(r.u32("introducer.ip4")?),
+                6 => {
+                    let hi = r.u64("introducer.ip6hi")? as u128;
+                    let lo = r.u64("introducer.ip6lo")? as u128;
+                    PeerIp::V6(hi << 64 | lo)
+                }
+                _ => return Err(DecodeError::Invalid { what: "introducer.ipkind" }),
+            };
+            let tag = r.u32("introducer.tag")?;
+            introducers.push(Introducer { router, ip, tag });
+        }
+        Ok(RouterAddress { style, ip, port, introducers, cost })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(a: &RouterAddress) -> RouterAddress {
+        let mut w = Writer::new();
+        a.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let out = RouterAddress::decode(&mut r).unwrap();
+        assert!(r.is_empty());
+        out
+    }
+
+    #[test]
+    fn published_v4_roundtrip() {
+        let a = RouterAddress::published(TransportStyle::Ntcp, PeerIp::V4(0x0A00_0001), 12345);
+        assert_eq!(roundtrip(&a), a);
+    }
+
+    #[test]
+    fn published_v6_roundtrip() {
+        let a = RouterAddress::published(
+            TransportStyle::Ssu,
+            PeerIp::V6(0x2001_0db8_0000_0000_0000_0000_0000_0001),
+            30999,
+        );
+        assert_eq!(roundtrip(&a), a);
+    }
+
+    #[test]
+    fn firewalled_roundtrip() {
+        let a = RouterAddress::firewalled(vec![
+            Introducer { router: Hash256::digest(b"i1"), ip: PeerIp::V4(1), tag: 99 },
+            Introducer { router: Hash256::digest(b"i2"), ip: PeerIp::V4(2), tag: 100 },
+        ]);
+        let b = roundtrip(&a);
+        assert_eq!(b, a);
+        assert_eq!(b.ip, None);
+        assert_eq!(b.introducers.len(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PeerIp::V4(0x7F00_0001).to_string(), "127.0.0.1");
+        assert!(PeerIp::V6(1).to_string().ends_with(":1"));
+    }
+
+    #[test]
+    fn digest64_distinguishes_families() {
+        assert_ne!(PeerIp::V4(1).digest64(), PeerIp::V6(1).digest64());
+    }
+
+    #[test]
+    fn invalid_style_rejected() {
+        let bytes = [9u8, 0, 0, 0, 0, 0];
+        let mut r = Reader::new(&bytes);
+        assert!(RouterAddress::decode(&mut r).is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! Capacity flags.
+//!
+//! Each RouterInfo carries a `caps` option that encodes (1) the estimated
+//! shared-bandwidth class as one of seven letters `K L M N O P X`, (2) the
+//! floodfill flag `f`, and (3) reachability `R`/`U` (Hoang et al. §5.3).
+//!
+//! Two subtleties the paper's Table 1 hinges on are modelled exactly:
+//!
+//! * **The `P/X → O` compatibility rule** (§5.3.1): since I2P 0.9.20, a
+//!   peer in class `P` or `X` *also* publishes `O` so that older software
+//!   keeps working. This is why Table 1's columns sum to more than 100 %.
+//! * **Unqualified floodfills**: operators can force the `f` flag on
+//!   routers below the 128 KB/s (class `N`) automatic-opt-in threshold;
+//!   §5.3.1 uses the share of qualified (N/O/P/X) floodfills (71 %) to
+//!   re-estimate the network population.
+
+use crate::codec::DecodeError;
+
+/// The seven shared-bandwidth classes (§5.3.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum BandwidthClass {
+    /// < 12 KB/s.
+    K,
+    /// 12–48 KB/s (the I2P default — dominant in the network, Fig. 9).
+    L,
+    /// 48–64 KB/s.
+    M,
+    /// 64–128 KB/s.
+    N,
+    /// 128–256 KB/s.
+    O,
+    /// 256–2000 KB/s.
+    P,
+    /// > 2000 KB/s.
+    X,
+}
+
+impl BandwidthClass {
+    /// All classes in ascending bandwidth order.
+    pub const ALL: [BandwidthClass; 7] = [
+        BandwidthClass::K,
+        BandwidthClass::L,
+        BandwidthClass::M,
+        BandwidthClass::N,
+        BandwidthClass::O,
+        BandwidthClass::P,
+        BandwidthClass::X,
+    ];
+
+    /// The capability letter.
+    pub const fn letter(self) -> char {
+        match self {
+            BandwidthClass::K => 'K',
+            BandwidthClass::L => 'L',
+            BandwidthClass::M => 'M',
+            BandwidthClass::N => 'N',
+            BandwidthClass::O => 'O',
+            BandwidthClass::P => 'P',
+            BandwidthClass::X => 'X',
+        }
+    }
+
+    /// Parses a capability letter.
+    pub const fn from_letter(c: char) -> Option<Self> {
+        Some(match c {
+            'K' => BandwidthClass::K,
+            'L' => BandwidthClass::L,
+            'M' => BandwidthClass::M,
+            'N' => BandwidthClass::N,
+            'O' => BandwidthClass::O,
+            'P' => BandwidthClass::P,
+            'X' => BandwidthClass::X,
+            _ => return None,
+        })
+    }
+
+    /// The class for a given shared bandwidth in KB/s.
+    pub fn for_shared_kbps(kbps: u32) -> Self {
+        match kbps {
+            0..=11 => BandwidthClass::K,
+            12..=47 => BandwidthClass::L,
+            48..=63 => BandwidthClass::M,
+            64..=127 => BandwidthClass::N,
+            128..=255 => BandwidthClass::O,
+            256..=1999 => BandwidthClass::P,
+            _ => BandwidthClass::X,
+        }
+    }
+
+    /// Representative shared bandwidth (KB/s) for a class — the midpoint
+    /// of its range (cap for `X`). Used by the tunnel peer-selection
+    /// weighting.
+    pub const fn nominal_kbps(self) -> u32 {
+        match self {
+            BandwidthClass::K => 8,
+            BandwidthClass::L => 30,
+            BandwidthClass::M => 56,
+            BandwidthClass::N => 96,
+            BandwidthClass::O => 192,
+            BandwidthClass::P => 1128,
+            BandwidthClass::X => 4000,
+        }
+    }
+
+    /// Whether this class meets the automatic floodfill opt-in minimum
+    /// (≥ class `N`, i.e. ≥ 64 KB/s with ≥128 KB/s share requirement met
+    /// by N-and-above in practice; §5.3.1).
+    pub const fn floodfill_qualified(self) -> bool {
+        matches!(
+            self,
+            BandwidthClass::N | BandwidthClass::O | BandwidthClass::P | BandwidthClass::X
+        )
+    }
+}
+
+/// A parsed capacity-flag set.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Caps {
+    /// The peer's *true* bandwidth class.
+    pub bandwidth: BandwidthClass,
+    /// Floodfill flag `f`.
+    pub floodfill: bool,
+    /// Reachable (`R`) vs unreachable (`U`).
+    pub reachable: bool,
+    /// Hidden mode (`H`): does not publish an address at all.
+    pub hidden: bool,
+}
+
+impl Caps {
+    /// Builds caps for a plain reachable non-floodfill router.
+    pub fn standard(bandwidth: BandwidthClass) -> Self {
+        Caps { bandwidth, floodfill: false, reachable: true, hidden: false }
+    }
+
+    /// The capability letters this peer *publishes*, applying the
+    /// `P/X → O` compatibility rule.
+    pub fn published_letters(&self) -> Vec<char> {
+        let mut out = Vec::with_capacity(4);
+        if matches!(self.bandwidth, BandwidthClass::P | BandwidthClass::X) {
+            out.push(BandwidthClass::O.letter());
+        }
+        out.push(self.bandwidth.letter());
+        if self.floodfill {
+            out.push('f');
+        }
+        out.push(if self.reachable { 'R' } else { 'U' });
+        if self.hidden {
+            out.push('H');
+        }
+        out
+    }
+
+    /// Formats the caps string as it appears in a RouterInfo (e.g. `OfR`
+    /// for a reachable 128–256 KB/s floodfill — the paper's §5.3.1
+    /// example).
+    pub fn to_caps_string(&self) -> String {
+        self.published_letters().into_iter().collect()
+    }
+
+    /// Parses a caps string. The *highest* bandwidth letter present is the
+    /// true class (inverting the `P/X → O` rule).
+    pub fn parse(s: &str) -> Result<Self, DecodeError> {
+        let mut bandwidth: Option<BandwidthClass> = None;
+        let mut floodfill = false;
+        let mut reachable = None;
+        let mut hidden = false;
+        for c in s.chars() {
+            if let Some(b) = BandwidthClass::from_letter(c) {
+                bandwidth = Some(match bandwidth {
+                    Some(prev) if prev >= b => prev,
+                    _ => b,
+                });
+            } else {
+                match c {
+                    'f' => floodfill = true,
+                    'R' => reachable = Some(true),
+                    'U' => reachable = Some(false),
+                    'H' => hidden = true,
+                    _ => return Err(DecodeError::Invalid { what: "caps" }),
+                }
+            }
+        }
+        Ok(Caps {
+            bandwidth: bandwidth.ok_or(DecodeError::Invalid { what: "caps" })?,
+            floodfill,
+            reachable: reachable.unwrap_or(false),
+            hidden,
+        })
+    }
+
+    /// Whether this is a *qualified* floodfill (floodfill flag AND
+    /// automatic-opt-in bandwidth; §5.3.1's 71 %).
+    pub fn qualified_floodfill(&self) -> bool {
+        self.floodfill && self.bandwidth.floodfill_qualified()
+    }
+}
+
+impl std::fmt::Display for Caps {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_caps_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_ranges_match_paper_table() {
+        assert_eq!(BandwidthClass::for_shared_kbps(5), BandwidthClass::K);
+        assert_eq!(BandwidthClass::for_shared_kbps(12), BandwidthClass::L);
+        assert_eq!(BandwidthClass::for_shared_kbps(47), BandwidthClass::L);
+        assert_eq!(BandwidthClass::for_shared_kbps(48), BandwidthClass::M);
+        assert_eq!(BandwidthClass::for_shared_kbps(64), BandwidthClass::N);
+        assert_eq!(BandwidthClass::for_shared_kbps(128), BandwidthClass::O);
+        assert_eq!(BandwidthClass::for_shared_kbps(256), BandwidthClass::P);
+        assert_eq!(BandwidthClass::for_shared_kbps(2000), BandwidthClass::X);
+    }
+
+    #[test]
+    fn paper_example_ofr() {
+        let caps = Caps {
+            bandwidth: BandwidthClass::O,
+            floodfill: true,
+            reachable: true,
+            hidden: false,
+        };
+        assert_eq!(caps.to_caps_string(), "OfR");
+        assert_eq!(Caps::parse("OfR").unwrap(), caps);
+    }
+
+    #[test]
+    fn px_publish_o_for_compat() {
+        let p = Caps::standard(BandwidthClass::P);
+        assert_eq!(p.to_caps_string(), "OPR");
+        let x = Caps::standard(BandwidthClass::X);
+        assert_eq!(x.to_caps_string(), "OXR");
+        // Parsing recovers the true class.
+        assert_eq!(Caps::parse("OPR").unwrap().bandwidth, BandwidthClass::P);
+        assert_eq!(Caps::parse("OXR").unwrap().bandwidth, BandwidthClass::X);
+    }
+
+    #[test]
+    fn roundtrip_all_combinations() {
+        for b in BandwidthClass::ALL {
+            for ff in [false, true] {
+                for r in [false, true] {
+                    for h in [false, true] {
+                        let caps = Caps { bandwidth: b, floodfill: ff, reachable: r, hidden: h };
+                        let parsed = Caps::parse(&caps.to_caps_string()).unwrap();
+                        assert_eq!(parsed, caps);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qualified_floodfill_threshold() {
+        for b in BandwidthClass::ALL {
+            let caps = Caps { bandwidth: b, floodfill: true, reachable: true, hidden: false };
+            assert_eq!(caps.qualified_floodfill(), b >= BandwidthClass::N, "{b:?}");
+        }
+        // Non-floodfill is never qualified.
+        assert!(!Caps::standard(BandwidthClass::X).qualified_floodfill());
+    }
+
+    #[test]
+    fn invalid_caps_rejected() {
+        assert!(Caps::parse("Z").is_err());
+        assert!(Caps::parse("").is_err());
+        assert!(Caps::parse("fR").is_err()); // no bandwidth letter
+    }
+}

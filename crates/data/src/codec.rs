@@ -1,0 +1,281 @@
+//! Binary codec for the I2P-style wire format.
+//!
+//! The real I2P common-structures format is big-endian with
+//! length-prefixed strings and sorted `key=value;` mappings; we reproduce
+//! those conventions so RouterInfo files have realistic structure and the
+//! codec round-trips are a meaningful property-test surface.
+
+/// Errors produced while decoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the structure was complete.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// A length, discriminant or invariant was out of range.
+    Invalid {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// A signature failed to verify.
+    BadSignature,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { what } => write!(f, "truncated input while decoding {what}"),
+            DecodeError::Invalid { what } => write!(f, "invalid value while decoding {what}"),
+            DecodeError::BadSignature => write!(f, "signature verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append-only binary writer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a big-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes raw bytes (no length prefix).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes an I2P string: one length byte then up to 255 bytes.
+    pub fn string(&mut self, s: &str) {
+        let b = s.as_bytes();
+        assert!(b.len() <= 255, "I2P strings are at most 255 bytes");
+        self.u8(b.len() as u8);
+        self.bytes(b);
+    }
+
+    /// Writes an I2P mapping: u16 total size, then `key=value;` pairs in
+    /// sorted key order (sorting is required so signatures are stable).
+    pub fn mapping<'a>(&mut self, pairs: impl IntoIterator<Item = (&'a str, &'a str)>) {
+        let mut sorted: Vec<(&str, &str)> = pairs.into_iter().collect();
+        sorted.sort_by_key(|(k, _)| *k);
+        let mut inner = Writer::new();
+        for (k, v) in sorted {
+            inner.string(k);
+            inner.u8(b'=');
+            inner.string(v);
+            inner.u8(b';');
+        }
+        let body = inner.into_bytes();
+        assert!(body.len() <= u16::MAX as usize);
+        self.u16(body.len() as u16);
+        self.bytes(&body);
+    }
+}
+
+/// Cursor-based binary reader.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the reader is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated { what });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a big-endian u16.
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, DecodeError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a big-endian u32.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, DecodeError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a big-endian u64.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, DecodeError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_be_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+        self.take(n, what)
+    }
+
+    /// Reads exactly 32 bytes into an array.
+    pub fn array32(&mut self, what: &'static str) -> Result<[u8; 32], DecodeError> {
+        Ok(self.take(32, what)?.try_into().unwrap())
+    }
+
+    /// Reads an I2P string.
+    pub fn string(&mut self, what: &'static str) -> Result<String, DecodeError> {
+        let len = self.u8(what)? as usize;
+        let b = self.take(len, what)?;
+        String::from_utf8(b.to_vec()).map_err(|_| DecodeError::Invalid { what })
+    }
+
+    /// Reads an I2P mapping into sorted `(key, value)` pairs.
+    pub fn mapping(&mut self, what: &'static str) -> Result<Vec<(String, String)>, DecodeError> {
+        let size = self.u16(what)? as usize;
+        let body = self.take(size, what)?;
+        let mut inner = Reader::new(body);
+        let mut out = Vec::new();
+        while !inner.is_empty() {
+            let k = inner.string(what)?;
+            if inner.u8(what)? != b'=' {
+                return Err(DecodeError::Invalid { what });
+            }
+            let v = inner.string(what)?;
+            if inner.u8(what)? != b';' {
+                return Err(DecodeError::Invalid { what });
+            }
+            out.push((k, v));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(0x0123_4567_89AB_CDEF);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 15);
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u16("b").unwrap(), 0xBEEF);
+        assert_eq!(r.u32("c").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("d").unwrap(), 0x0123_4567_89AB_CDEF);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let mut w = Writer::new();
+        w.string("caps");
+        w.string("");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.string("s").unwrap(), "caps");
+        assert_eq!(r.string("s").unwrap(), "");
+    }
+
+    #[test]
+    fn mapping_sorted_and_roundtrips() {
+        let mut w = Writer::new();
+        w.mapping([("netdb.knownRouters", "120"), ("caps", "OfR")]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let pairs = r.mapping("m").unwrap();
+        assert_eq!(
+            pairs,
+            vec![
+                ("caps".to_string(), "OfR".to_string()),
+                ("netdb.knownRouters".to_string(), "120".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn truncation_reported() {
+        let mut w = Writer::new();
+        w.u32(1);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..2]);
+        assert_eq!(r.u32("x"), Err(DecodeError::Truncated { what: "x" }));
+    }
+
+    #[test]
+    fn malformed_mapping_rejected() {
+        // mapping body: string "a", then ':' instead of '='.
+        let mut w = Writer::new();
+        let mut inner = Writer::new();
+        inner.string("a");
+        inner.u8(b':');
+        inner.string("b");
+        inner.u8(b';');
+        let body = inner.into_bytes();
+        w.u16(body.len() as u16);
+        w.bytes(&body);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.mapping("m"), Err(DecodeError::Invalid { .. })));
+    }
+}

@@ -1,0 +1,39 @@
+//! # i2p-data — I2P common data structures
+//!
+//! The wire- and storage-level data model of the emulated I2P network,
+//! mirroring the "Common Structures" of the real I2P specification at the
+//! granularity the paper's measurements need:
+//!
+//! * [`hash::Hash256`] — the cryptographic router identifier ("a peer is
+//!   defined by a unique hash value encapsulated in its RouterInfo",
+//!   Hoang et al. §4.1) with the Kademlia XOR metric.
+//! * [`time::SimTime`] — simulation clock; netDb routing keys rotate at
+//!   UTC midnight (§2.1.2), so day boundaries matter.
+//! * [`caps::Caps`] — capacity flags: bandwidth classes `K..X`, floodfill
+//!   `f`, reachability `R`/`U`, hidden `H`, including the `P/X → O`
+//!   backwards-compatibility publication rule that §5.3.1 dissects.
+//! * [`addr`] — transport addresses, including SSU *introducers* whose
+//!   presence/absence distinguishes firewalled from hidden peers (§5.1).
+//! * [`routerinfo::RouterInfo`] / [`leaseset::LeaseSet`] — the two kinds
+//!   of netDb metadata (§2.1.2), with a binary codec and signatures.
+//! * [`codec`] — the big-endian, length-prefixed binary format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod caps;
+pub mod codec;
+pub mod hash;
+pub mod ident;
+pub mod leaseset;
+pub mod routerinfo;
+pub mod time;
+
+pub use addr::{PeerIp, RouterAddress, TransportStyle};
+pub use caps::{BandwidthClass, Caps};
+pub use hash::Hash256;
+pub use ident::RouterIdentity;
+pub use leaseset::{Lease, LeaseSet};
+pub use routerinfo::RouterInfo;
+pub use time::{Duration, SimTime};

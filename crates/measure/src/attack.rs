@@ -1,0 +1,235 @@
+//! From blocking to deanonymization — the §7.2 attack.
+//!
+//! "After blocking more than 95 % of active peers in the network, the
+//! attacker can inject malicious routers. He then configures the local
+//! network firewall in a fashion that forces the victim to use the
+//! attacker's routers … the victim is bootstrapped into the attacker's
+//! network." (Hoang et al. §7.2.)
+//!
+//! This module quantifies how far the blocking step takes the attacker:
+//! given a blocking rate and a number of whitelisted malicious routers,
+//! what fraction of the victim's tunnels end up built *entirely* from
+//! attacker-controlled hops — the precondition for the deanonymization
+//! attacks the paper cites.
+
+use crate::censor::{censor_blacklist, victim_view, VictimView};
+use crate::fleet::Fleet;
+use i2p_crypto::DetRng;
+use i2p_sim::world::World;
+use i2p_tunnel::select::{select_hops, HopCandidate};
+use std::collections::HashSet;
+
+/// The victim's effective hop-candidate pool under the attack.
+#[derive(Clone, Debug)]
+pub struct AttackSetup {
+    /// Honest peers that remain reachable (not blocked).
+    pub honest_reachable: usize,
+    /// Malicious routers injected and whitelisted by the censor.
+    pub malicious: usize,
+    /// The blocking rate achieved against honest peers (%).
+    pub blocking_rate_pct: f64,
+}
+
+/// Result of simulating the victim's tunnel building under the attack.
+#[derive(Clone, Debug)]
+pub struct AttackOutcome {
+    /// Setup parameters.
+    pub setup: AttackSetup,
+    /// Fraction of built tunnels whose hops are all malicious (%).
+    pub fully_compromised_pct: f64,
+    /// Fraction with at least one malicious hop (%).
+    pub partially_compromised_pct: f64,
+    /// Tunnels simulated.
+    pub tunnels: usize,
+}
+
+/// Builds the attack setup: the censor blocks everything its
+/// `censor_routers` fleet has seen over 30 days and whitelists
+/// `n_malicious` of its own routers.
+pub fn attack_setup(
+    world: &World,
+    fleet: &Fleet,
+    eval_day: u64,
+    censor_routers: usize,
+    window_days: u64,
+    n_malicious: usize,
+) -> (AttackSetup, VictimView, HashSet<i2p_data::PeerIp>) {
+    let victim = victim_view(world, eval_day, 0x51C);
+    let blacklist = censor_blacklist(world, fleet, censor_routers, window_days, eval_day);
+    let blocked = victim.known_ips.iter().filter(|ip| blacklist.contains(ip)).count();
+    let honest_reachable = victim.known_ips.len() - blocked;
+    let setup = AttackSetup {
+        honest_reachable,
+        malicious: n_malicious,
+        blocking_rate_pct: 100.0 * blocked as f64 / victim.known_ips.len().max(1) as f64,
+    };
+    (setup, victim, blacklist)
+}
+
+/// Simulates the victim building `n_tunnels` two-hop tunnels from its
+/// post-blocking candidate pool (surviving honest peers + the attacker's
+/// whitelisted routers, which advertise high bandwidth and therefore
+/// high selection weight — they are "high-profile" routers by §4.1's
+/// ranking logic).
+pub fn simulate_attack(
+    world: &World,
+    fleet: &Fleet,
+    eval_day: u64,
+    censor_routers: usize,
+    window_days: u64,
+    n_malicious: usize,
+    n_tunnels: usize,
+    seed: u64,
+) -> AttackOutcome {
+    let (setup, victim, blacklist) =
+        attack_setup(world, fleet, eval_day, censor_routers, window_days, n_malicious);
+    let mut rng = DetRng::new(seed ^ 0xA77AC4);
+
+    // Honest survivors get the typical L/N-class selection weight; the
+    // attacker's routers advertise X-class capacity.
+    let mut candidates: Vec<(HopCandidate, bool)> = Vec::new();
+    for (i, ip) in victim.known_ips.iter().enumerate() {
+        if !blacklist.contains(ip) {
+            candidates.push((
+                HopCandidate {
+                    hash: i2p_data::Hash256::digest(&(i as u64).to_be_bytes()),
+                    weight: 100,
+                },
+                false,
+            ));
+        }
+    }
+    let honest_n = candidates.len();
+    for m in 0..n_malicious {
+        candidates.push((
+            HopCandidate {
+                hash: i2p_data::Hash256::digest(&(0xFFFF_0000 + m as u64).to_be_bytes()),
+                weight: 4000, // X-class advertisement
+            },
+            true,
+        ));
+    }
+    let malicious_set: HashSet<_> = candidates
+        .iter()
+        .filter(|(_, bad)| *bad)
+        .map(|(c, _)| c.hash)
+        .collect();
+    let pool: Vec<HopCandidate> = candidates.iter().map(|(c, _)| *c).collect();
+
+    let mut fully = 0usize;
+    let mut partially = 0usize;
+    let mut built = 0usize;
+    for _ in 0..n_tunnels {
+        if let Some(hops) = select_hops(&pool, 2, &mut rng) {
+            built += 1;
+            let bad = hops.iter().filter(|h| malicious_set.contains(h)).count();
+            if bad == hops.len() {
+                fully += 1;
+            }
+            if bad > 0 {
+                partially += 1;
+            }
+        }
+    }
+    let _ = honest_n;
+    AttackOutcome {
+        setup,
+        fully_compromised_pct: 100.0 * fully as f64 / built.max(1) as f64,
+        partially_compromised_pct: 100.0 * partially as f64 / built.max(1) as f64,
+        tunnels: built,
+    }
+}
+
+/// Renders an attack sweep over malicious-router counts.
+pub fn render_attack_sweep(outcomes: &[AttackOutcome]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "From blocking to deanonymization (§7.2): victim tunnel compromise\n\
+         ------------------------------------------------------------------\n\
+         malicious   blocking   fully compromised   ≥1 malicious hop\n",
+    );
+    for o in outcomes {
+        let _ = writeln!(
+            out,
+            "{:>9}   {:>7.1}%   {:>16.1}%   {:>15.1}%",
+            o.setup.malicious,
+            o.setup.blocking_rate_pct,
+            o.fully_compromised_pct,
+            o.partially_compromised_pct
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use i2p_sim::world::WorldConfig;
+
+    fn setup() -> (World, Fleet) {
+        (
+            World::generate(WorldConfig { days: 40, scale: 0.04, seed: 81 }),
+            Fleet::alternating(20),
+        )
+    }
+
+    #[test]
+    fn more_malicious_routers_more_compromise() {
+        let (w, fleet) = setup();
+        let low = simulate_attack(&w, &fleet, 35, 6, 1, 2, 2000, 1);
+        let high = simulate_attack(&w, &fleet, 35, 6, 1, 20, 2000, 1);
+        assert!(
+            high.fully_compromised_pct > low.fully_compromised_pct,
+            "low {:.1}% vs high {:.1}%",
+            low.fully_compromised_pct,
+            high.fully_compromised_pct
+        );
+        assert!(high.partially_compromised_pct >= high.fully_compromised_pct);
+    }
+
+    #[test]
+    fn high_blocking_makes_compromise_cheap() {
+        let (w, fleet) = setup();
+        let o = simulate_attack(&w, &fleet, 35, 20, 5, 10, 2000, 2);
+        assert!(
+            o.setup.blocking_rate_pct > 90.0,
+            "precondition: blocking {:.1}%",
+            o.setup.blocking_rate_pct
+        );
+        // With >90% blocked and 10 high-capacity malicious routers, a
+        // majority of tunnels should contain a malicious hop.
+        assert!(
+            o.partially_compromised_pct > 50.0,
+            "partial compromise {:.1}%",
+            o.partially_compromised_pct
+        );
+        assert!(o.fully_compromised_pct > 10.0);
+    }
+
+    #[test]
+    fn without_blocking_attack_is_weak() {
+        let (w, fleet) = setup();
+        // Censor with 0 routers blocks nothing.
+        let unblocked = simulate_attack(&w, &fleet, 35, 0, 1, 10, 2000, 3);
+        assert_eq!(unblocked.setup.blocking_rate_pct, 0.0);
+        let blocked = simulate_attack(&w, &fleet, 35, 20, 5, 10, 2000, 3);
+        assert!(
+            unblocked.fully_compromised_pct + 20.0 < blocked.fully_compromised_pct,
+            "blocking is the attack's force multiplier: {:.1}% vs {:.1}%",
+            unblocked.fully_compromised_pct,
+            blocked.fully_compromised_pct
+        );
+    }
+
+    #[test]
+    fn renderer_has_rows() {
+        let (w, fleet) = setup();
+        let sweep: Vec<_> = [2usize, 10]
+            .iter()
+            .map(|&m| simulate_attack(&w, &fleet, 35, 20, 5, m, 500, 4))
+            .collect();
+        let text = render_attack_sweep(&sweep);
+        assert!(text.contains("deanonymization"));
+        assert!(text.lines().count() >= 5);
+    }
+}

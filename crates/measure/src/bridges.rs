@@ -1,0 +1,256 @@
+//! Bridge distribution — the paper's proposed counter-censorship
+//! mechanism (§7.1, and the stated future work in §8).
+//!
+//! "A potential solution is to use these [newly joined] peers as bridges
+//! for restricted users. … utilizing newly joined peers in combination
+//! with the firewalled peers … can be a potentially sustainable solution
+//! for restricted users who need longer access to the network."
+//!
+//! This module implements and evaluates three bridge-selection
+//! strategies against a censor that keeps monitoring and re-blocking:
+//!
+//! * [`BridgeStrategy::RandomKnown`] — hand out arbitrary known peers
+//!   (the naive baseline; mostly already blocked).
+//! * [`BridgeStrategy::NewlyJoined`] — hand out peers that joined within
+//!   the last day (not yet observed by the censor, but they *will* be).
+//! * [`BridgeStrategy::NewAndFirewalled`] — the paper's combination:
+//!   fresh peers for immediate access plus firewalled peers (which have
+//!   no blockable address at all) for longevity.
+
+use crate::censor::censor_blacklist;
+use crate::fleet::Fleet;
+use i2p_crypto::DetRng;
+use i2p_sim::peer::{PeerRecord, Reach};
+use i2p_sim::world::World;
+
+/// A bridge-selection strategy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BridgeStrategy {
+    /// Any known peer.
+    RandomKnown,
+    /// Peers that joined within the last day (§7.1's fresh peers).
+    NewlyJoined,
+    /// Fresh peers + firewalled peers (§7.1's sustainable combination).
+    NewAndFirewalled,
+}
+
+impl BridgeStrategy {
+    /// All strategies, for sweeps.
+    pub const ALL: [BridgeStrategy; 3] = [
+        BridgeStrategy::RandomKnown,
+        BridgeStrategy::NewlyJoined,
+        BridgeStrategy::NewAndFirewalled,
+    ];
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BridgeStrategy::RandomKnown => "random known peers",
+            BridgeStrategy::NewlyJoined => "newly joined peers",
+            BridgeStrategy::NewAndFirewalled => "new + firewalled",
+        }
+    }
+
+    fn candidates<'w>(&self, world: &'w World, day: u64) -> Vec<&'w PeerRecord> {
+        let d = day as i64;
+        match self {
+            BridgeStrategy::RandomKnown => world.online_peers(day).collect(),
+            BridgeStrategy::NewlyJoined => world
+                .online_peers(day)
+                .filter(|p| p.join_day >= d && p.publishes_ip(d))
+                .collect(),
+            BridgeStrategy::NewAndFirewalled => world
+                .online_peers(day)
+                .filter(|p| {
+                    (p.join_day >= d && p.publishes_ip(d))
+                        || p.reach_on(d) == Reach::Firewalled
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Outcome of distributing bridges under one strategy.
+#[derive(Clone, Debug)]
+pub struct BridgeOutcome {
+    /// The strategy evaluated.
+    pub strategy: BridgeStrategy,
+    /// Bridges handed out on day 0 of the evaluation.
+    pub distributed: usize,
+    /// Share of bridges usable on the day they were handed out
+    /// (not already on the censor's blacklist).
+    pub usable_day0_pct: f64,
+    /// Share still usable after `horizon` more days of censor
+    /// monitoring (the sustainability metric).
+    pub usable_after_pct: f64,
+    /// Horizon used (days).
+    pub horizon: u64,
+}
+
+/// Evaluates one strategy: hand out `n_bridges` on `start_day`, then let
+/// the censor keep monitoring with `censor_routers` routers and an
+/// unbounded blacklist, and measure how many bridges survive.
+///
+/// A *firewalled* bridge counts as usable as long as the peer is alive:
+/// it has no public address for the censor to block (§7.1). A published
+/// bridge survives until its current IP lands on the blacklist.
+pub fn evaluate_strategy(
+    world: &World,
+    fleet: &Fleet,
+    strategy: BridgeStrategy,
+    start_day: u64,
+    horizon: u64,
+    n_bridges: usize,
+    censor_routers: usize,
+    seed: u64,
+) -> BridgeOutcome {
+    let mut rng = DetRng::new(seed ^ 0xB121D6E);
+    let mut candidates = strategy.candidates(world, start_day);
+    rng.shuffle(&mut candidates);
+    candidates.truncate(n_bridges);
+    let distributed = candidates.len();
+
+    // The censor's deployed blacklist lags observation by one day: the
+    // rules active on day D were compiled from harvests through D − 1.
+    // This lag is precisely why "newly joined [peers] are less likely
+    // discovered and blocked immediately" (§7.1).
+    let bl_day0 = censor_blacklist(world, fleet, censor_routers, 30, start_day - 1);
+    let end_day = start_day + horizon;
+    let bl_end = censor_blacklist(world, fleet, censor_routers, 30 + horizon, end_day - 1);
+
+    let usable = |peer: &PeerRecord, day: u64, bl: &std::collections::HashSet<i2p_data::PeerIp>| -> bool {
+        let d = day as i64;
+        if !peer.online(d) {
+            return false;
+        }
+        match peer.reach_on(d) {
+            // No address to block; reachable via introducers.
+            Reach::Firewalled => true,
+            Reach::Hidden => false, // cannot serve as a bridge at all
+            _ => !bl.contains(&peer.ipv4_on(d, &world.geo)),
+        }
+    };
+
+    let day0 = candidates.iter().filter(|p| usable(p, start_day, &bl_day0)).count();
+    let after = candidates.iter().filter(|p| usable(p, end_day, &bl_end)).count();
+    BridgeOutcome {
+        strategy,
+        distributed,
+        usable_day0_pct: 100.0 * day0 as f64 / distributed.max(1) as f64,
+        usable_after_pct: 100.0 * after as f64 / distributed.max(1) as f64,
+        horizon,
+    }
+}
+
+/// Runs all strategies side by side.
+pub fn compare_strategies(
+    world: &World,
+    fleet: &Fleet,
+    start_day: u64,
+    horizon: u64,
+    n_bridges: usize,
+    censor_routers: usize,
+    seed: u64,
+) -> Vec<BridgeOutcome> {
+    BridgeStrategy::ALL
+        .iter()
+        .map(|&s| {
+            evaluate_strategy(world, fleet, s, start_day, horizon, n_bridges, censor_routers, seed)
+        })
+        .collect()
+}
+
+/// Renders the comparison table.
+pub fn render_bridge_comparison(outcomes: &[BridgeOutcome]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "Bridge-distribution strategies under a persistent censor (§7.1)\n\
+         ----------------------------------------------------------------\n\
+         strategy               bridges   usable day 0   usable at horizon\n",
+    );
+    for o in outcomes {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>7}   {:>10.1}%   {:>14.1}%  (+{} d)",
+            o.strategy.label(),
+            o.distributed,
+            o.usable_day0_pct,
+            o.usable_after_pct,
+            o.horizon
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use i2p_sim::world::WorldConfig;
+
+    fn setup() -> (World, Fleet) {
+        (
+            World::generate(WorldConfig { days: 50, scale: 0.04, seed: 71 }),
+            Fleet::alternating(20),
+        )
+    }
+
+    #[test]
+    fn fresh_peers_beat_random_on_day0() {
+        let (w, fleet) = setup();
+        let outcomes = compare_strategies(&w, &fleet, 35, 10, 60, 10, 1);
+        let random = &outcomes[0];
+        let fresh = &outcomes[1];
+        assert!(
+            fresh.usable_day0_pct > random.usable_day0_pct + 10.0,
+            "fresh {:.1}% vs random {:.1}%",
+            fresh.usable_day0_pct,
+            random.usable_day0_pct
+        );
+    }
+
+    #[test]
+    fn combination_is_most_sustainable() {
+        let (w, fleet) = setup();
+        let outcomes = compare_strategies(&w, &fleet, 35, 10, 60, 10, 2);
+        let fresh = &outcomes[1];
+        let combo = &outcomes[2];
+        assert!(
+            combo.usable_after_pct >= fresh.usable_after_pct,
+            "combo {:.1}% vs fresh-only {:.1}% at horizon",
+            combo.usable_after_pct,
+            fresh.usable_after_pct
+        );
+    }
+
+    #[test]
+    fn fresh_bridges_decay_over_time() {
+        let (w, fleet) = setup();
+        let o = evaluate_strategy(&w, &fleet, BridgeStrategy::NewlyJoined, 35, 10, 60, 10, 3);
+        assert!(
+            o.usable_after_pct < o.usable_day0_pct,
+            "censor catches up with fresh bridges: {:.1}% -> {:.1}%",
+            o.usable_day0_pct,
+            o.usable_after_pct
+        );
+    }
+
+    #[test]
+    fn hidden_peers_never_distributed_as_usable() {
+        let (w, fleet) = setup();
+        // The usable() rule excludes hidden peers; RandomKnown includes
+        // them as candidates, so its day-0 usability must be well below
+        // 100 even before blacklisting.
+        let o = evaluate_strategy(&w, &fleet, BridgeStrategy::RandomKnown, 35, 5, 200, 20, 4);
+        assert!(o.usable_day0_pct < 70.0, "random strategy usability {:.1}%", o.usable_day0_pct);
+    }
+
+    #[test]
+    fn renderer_contains_all_rows() {
+        let (w, fleet) = setup();
+        let outcomes = compare_strategies(&w, &fleet, 35, 5, 30, 5, 5);
+        let text = render_bridge_comparison(&outcomes);
+        for s in BridgeStrategy::ALL {
+            assert!(text.contains(s.label()));
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Probabilistic address-based blocking: Fig. 13 (§6.2).
+//!
+//! The censor operates `n` monitoring routers and blacklists every peer
+//! IP they observe, optionally remembering entries for a multi-day
+//! window (1/5/10/20/30 days, §6.2.2). The victim is "a long-term I2P
+//! node who has been participating in the network and has many
+//! RouterInfos in its netDb" (§6.2.2): its known-peer set accumulates
+//! over several days of ordinary client operation. The blocking rate is
+//! the share of the victim's known peer IPs that appear on the censor's
+//! blacklist.
+
+use crate::fleet::Fleet;
+use i2p_data::PeerIp;
+use i2p_crypto::DetRng;
+use i2p_sim::params;
+use i2p_sim::peer::PeerRecord;
+use i2p_sim::world::World;
+use std::collections::HashSet;
+
+/// The victim's accumulated netDb view.
+#[derive(Clone, Debug)]
+pub struct VictimView {
+    /// Peer IPs present in the victim's RouterInfos (the blockable set).
+    pub known_ips: HashSet<PeerIp>,
+}
+
+/// Whether the victim client sighted `peer` on `day` — ordinary client
+/// capture strength, far below a monitoring router's.
+fn victim_sees(peer: &PeerRecord, day: u64, salt: u64) -> bool {
+    if !peer.online(day as i64) {
+        return false;
+    }
+    let exposure = params::VICTIM_CAPTURE * (0.85 * peer.w + 0.15 * peer.u);
+    let p = 1.0 - (-exposure).exp();
+    // Same persistent/fresh mix as the monitoring vantages (see
+    // `fleet::Vantage::sees`).
+    let pair_seed = peer.seed ^ salt.wrapping_mul(0xA076_1D64_78BD_642F);
+    let mut daily = DetRng::new(pair_seed ^ (day + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let u = if daily.next_f64() < params::FRESH_DRAW_PROB {
+        daily.next_f64()
+    } else {
+        DetRng::new(pair_seed ^ 0xF00D).next_f64()
+    };
+    u < p
+}
+
+/// Builds the victim's view as of `eval_day`: RouterInfos gathered over
+/// the preceding [`params::VICTIM_ACCUMULATION_DAYS`] (they persist on
+/// disk, §4.3). Each known peer contributes the address from the most
+/// recent sighting.
+pub fn victim_view(world: &World, eval_day: u64, salt: u64) -> VictimView {
+    let from = eval_day.saturating_sub(params::VICTIM_ACCUMULATION_DAYS - 1);
+    let mut last_seen: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    for day in from..=eval_day {
+        for peer in world.online_peers(day) {
+            if victim_sees(peer, day, salt) {
+                last_seen.insert(peer.id, day);
+            }
+        }
+    }
+    let mut known_ips = HashSet::new();
+    for (&peer_id, &day) in &last_seen {
+        // netDb records age out (floodfills expire RouterInfos after an
+        // hour, clients within a day or two, §4.3): entries whose peer
+        // has not been re-seen recently have been dropped or replaced by
+        // the time the censor strikes.
+        if eval_day - day > 1 {
+            continue;
+        }
+        let peer = &world.peers[peer_id as usize];
+        // An active client keeps RouterInfos fresh: peers still online on
+        // the evaluation day republish, so the stored address is current;
+        // peers gone since the last sighting leave their final address.
+        let d = if peer.online(eval_day as i64) { eval_day as i64 } else { day as i64 };
+        if peer.publishes_ip(d) {
+            known_ips.insert(peer.ipv4_on(d, &world.geo));
+            if let Some(v6) = peer.ipv6_on(d, &world.geo) {
+                known_ips.insert(v6);
+            }
+        }
+    }
+    VictimView { known_ips }
+}
+
+/// The censor's blacklist: all peer IPs observed by the first `n`
+/// routers of `fleet` within the window ending at `eval_day`.
+pub fn censor_blacklist(
+    world: &World,
+    fleet: &Fleet,
+    n_routers: usize,
+    window_days: u64,
+    eval_day: u64,
+) -> HashSet<PeerIp> {
+    let from = eval_day.saturating_sub(window_days - 1);
+    let mut ips = HashSet::new();
+    for day in from..=eval_day {
+        let harvest = fleet.harvest_union_prefix(world, day, n_routers);
+        for rec in harvest.records.values() {
+            for ip in rec.ips() {
+                ips.insert(ip);
+            }
+        }
+    }
+    ips
+}
+
+/// Blocking rate: share of the victim's known IPs on the blacklist
+/// (§6.2.1).
+pub fn blocking_rate(victim: &VictimView, blacklist: &HashSet<PeerIp>) -> f64 {
+    if victim.known_ips.is_empty() {
+        return 0.0;
+    }
+    let blocked = victim.known_ips.iter().filter(|ip| blacklist.contains(ip)).count();
+    100.0 * blocked as f64 / victim.known_ips.len() as f64
+}
+
+/// One Fig. 13 series: blocking rate vs number of censor routers for a
+/// fixed blacklist window.
+#[derive(Clone, Debug)]
+pub struct BlockingSeries {
+    /// Blacklist window in days.
+    pub window_days: u64,
+    /// (routers, blocking rate %) points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Computes the full Fig. 13 matrix.
+pub fn blocking_matrix(
+    world: &World,
+    fleet: &Fleet,
+    eval_day: u64,
+    router_counts: &[usize],
+    windows: &[u64],
+) -> Vec<BlockingSeries> {
+    let victim = victim_view(world, eval_day, 0x51C);
+    windows
+        .iter()
+        .map(|&w| BlockingSeries {
+            window_days: w,
+            points: router_counts
+                .iter()
+                .map(|&n| {
+                    let bl = censor_blacklist(world, fleet, n, w, eval_day);
+                    (n, blocking_rate(&victim, &bl))
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use i2p_sim::world::WorldConfig;
+
+    fn setup() -> (World, Fleet) {
+        (
+            World::generate(WorldConfig { days: 40, scale: 0.04, seed: 61 }),
+            Fleet::alternating(20),
+        )
+    }
+
+    #[test]
+    fn victim_knows_a_substantial_set() {
+        let (w, _) = setup();
+        let v = victim_view(&w, 35, 1);
+        assert!(v.known_ips.len() > 100, "victim knows {} IPs", v.known_ips.len());
+    }
+
+    #[test]
+    fn blocking_rate_monotone_in_routers_and_window() {
+        let (w, fleet) = setup();
+        let series = blocking_matrix(&w, &fleet, 35, &[1, 5, 10, 20], &[1, 5, 30]);
+        // More routers never hurt.
+        for s in &series {
+            for win in s.points.windows(2) {
+                assert!(win[1].1 >= win[0].1 - 1e-9, "window {}: {:?}", s.window_days, s.points);
+            }
+        }
+        // Longer windows never hurt (same router count).
+        for i in 0..series[0].points.len() {
+            assert!(series[2].points[i].1 >= series[0].points[i].1 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_anchor_shape_high_blocking_with_few_routers() {
+        let (w, fleet) = setup();
+        let series = blocking_matrix(&w, &fleet, 35, &[2, 6, 10, 20], &[1, 5]);
+        let one_day = &series[0].points;
+        // §6.2.2: ~90 % with six routers, >95 % with twenty (1-day).
+        let at6 = one_day[1].1;
+        let at20 = one_day[3].1;
+        assert!(at6 > 75.0, "6 routers: {at6}%");
+        assert!(at20 > 90.0, "20 routers: {at20}%");
+        // 5-day window with 10 routers ≈ 95 %.
+        let five_day_at10 = series[1].points[2].1;
+        assert!(five_day_at10 > at6, "windows help");
+        assert!(five_day_at10 > 85.0, "10 routers, 5-day window: {five_day_at10}%");
+    }
+
+    #[test]
+    fn blocking_rate_arithmetic() {
+        let mut victim = VictimView { known_ips: HashSet::new() };
+        let mut bl = HashSet::new();
+        for i in 0..10u32 {
+            victim.known_ips.insert(PeerIp::V4(i));
+            if i < 7 {
+                bl.insert(PeerIp::V4(i));
+            }
+        }
+        assert!((blocking_rate(&victim, &bl) - 70.0).abs() < 1e-9);
+        assert_eq!(blocking_rate(&VictimView { known_ips: HashSet::new() }, &bl), 0.0);
+    }
+}

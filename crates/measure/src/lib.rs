@@ -1,0 +1,49 @@
+//! # i2p-measure — the paper's measurement & censorship-analysis suite
+//!
+//! This crate is the primary contribution of the reproduction: the
+//! monitoring methodology and every analysis of Hoang et al., *"An
+//! Empirical Study of the I2P Anonymity Network and its Censorship
+//! Resistance"* (IMC 2018), implemented against the world model in
+//! `i2p-sim` and the protocol stack in `i2p-router`.
+//!
+//! * [`fleet`] — monitoring vantages (floodfill / non-floodfill × shared
+//!   bandwidth) and daily netDb harvesting (hourly snapshots, daily
+//!   cleanup — §4.3). Produces [`observed::ObservedRouterInfo`] records;
+//!   every analysis below consumes only those observations.
+//! * [`population`] — Figs. 2, 3, 4, 5, 6: observed-peer counts by
+//!   vantage configuration, unique-IP census, unknown-IP decomposition.
+//! * [`churn`] — Fig. 7: continuous/intermittent survival curves.
+//! * [`ipchurn`] — Figs. 8, 12: per-peer distinct-IP and distinct-AS
+//!   histograms.
+//! * [`capacity`] — Fig. 9 and Table 1: capacity-flag census, bandwidth ×
+//!   {floodfill, reachable, unreachable} cross-tab, and the
+//!   qualified-floodfill population estimate (§5.3.1).
+//! * [`geo`] — Figs. 10, 11: country and AS distributions with the
+//!   multi-IP counting rule (§5.3.2).
+//! * [`censor`] — Fig. 13: probabilistic address-based blocking with
+//!   blacklist windows (§6.2).
+//! * [`usability`] — Fig. 14: eepsite page-load latency and timeout rate
+//!   under null-routing (§6.2.3), on the protocol-level `TestNet`.
+//! * [`report`] — text renderers that print each figure/table in the
+//!   paper's layout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod bridges;
+pub mod capacity;
+pub mod censor;
+pub mod churn;
+pub mod fleet;
+pub mod geo;
+pub mod ipchurn;
+pub mod observed;
+pub mod population;
+pub mod report;
+pub mod statsite;
+pub mod strategies;
+pub mod usability;
+
+pub use fleet::{Fleet, Vantage, VantageMode};
+pub use observed::ObservedRouterInfo;

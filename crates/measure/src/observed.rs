@@ -1,0 +1,156 @@
+//! The observation record: what a monitoring router's netDb snapshot
+//! actually contains about one peer on one day.
+//!
+//! Mirrors the paper's minimal collection policy (§3): "we collect from
+//! I2P's netDb only each node's IP address, hash value, and capacity
+//! information available in RouterInfos."
+
+use i2p_data::{Hash256, PeerIp};
+use i2p_geoip::GeoDb;
+use i2p_sim::peer::{PeerRecord, Reach};
+
+/// One harvested RouterInfo observation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObservedRouterInfo {
+    /// The peer's permanent hash.
+    pub hash: Hash256,
+    /// World peer id (used only to key observations; analyses treat it
+    /// as an opaque identifier equivalent to the hash).
+    pub peer_id: u32,
+    /// The capability letters published that day (e.g. `"OPR"`, `"LfU"`).
+    pub caps: String,
+    /// Published IPv4 address, if any.
+    pub ipv4: Option<PeerIp>,
+    /// Published IPv6 address, if any.
+    pub ipv6: Option<PeerIp>,
+    /// Whether the RouterInfo lists introducers (firewalled, §5.1).
+    pub has_introducers: bool,
+    /// The day the record was harvested.
+    pub day: u64,
+}
+
+impl ObservedRouterInfo {
+    /// Builds the observation of `peer` on `day` — what its published
+    /// RouterInfo looks like in a harvested netDb snapshot.
+    pub fn capture(peer: &PeerRecord, day: u64, geo: &GeoDb) -> Self {
+        let d = day as i64;
+        let reach = peer.reach_on(d);
+        let publishes = matches!(reach, Reach::Public | Reach::UnreachablePublished);
+        let (ipv4, ipv6) = if publishes {
+            (Some(peer.ipv4_on(d, geo)), peer.ipv6_on(d, geo))
+        } else {
+            (None, None)
+        };
+        let mut caps = String::new();
+        // P/X → O compatibility letter for a share of (older) routers,
+        // deterministic per peer (§5.3.1).
+        let compat_o = matches!(peer.class, i2p_data::BandwidthClass::P | i2p_data::BandwidthClass::X)
+            && peer.day_draw(0, 0xC0_0B) < i2p_sim::params::COMPAT_O_PROB;
+        if compat_o {
+            caps.push('O');
+        }
+        caps.push(peer.class.letter());
+        if peer.floodfill {
+            caps.push('f');
+        }
+        caps.push(if matches!(reach, Reach::Public) { 'R' } else { 'U' });
+        if matches!(reach, Reach::Hidden) {
+            caps.push('H');
+        }
+        ObservedRouterInfo {
+            hash: peer.hash,
+            peer_id: peer.id,
+            caps,
+            ipv4,
+            ipv6,
+            has_introducers: matches!(reach, Reach::Firewalled),
+            day,
+        }
+    }
+
+    /// Whether the record publishes no IP at all (unknown-IP, Fig. 6).
+    pub fn is_unknown_ip(&self) -> bool {
+        self.ipv4.is_none() && self.ipv6.is_none()
+    }
+
+    /// Firewalled: unknown-IP with introducers (§5.1).
+    pub fn is_firewalled(&self) -> bool {
+        self.is_unknown_ip() && self.has_introducers
+    }
+
+    /// Hidden: unknown-IP without introducers (§5.1).
+    pub fn is_hidden(&self) -> bool {
+        self.is_unknown_ip() && !self.has_introducers
+    }
+
+    /// All published addresses.
+    pub fn ips(&self) -> impl Iterator<Item = PeerIp> + '_ {
+        self.ipv4.into_iter().chain(self.ipv6)
+    }
+
+    /// Parsed capacity flags.
+    pub fn parsed_caps(&self) -> i2p_data::Caps {
+        i2p_data::Caps::parse(&self.caps).expect("observed caps are well-formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use i2p_crypto::DetRng;
+
+    fn world_peer(seed: u64) -> (PeerRecord, GeoDb) {
+        let geo = GeoDb::new();
+        let mut rng = DetRng::new(seed);
+        (PeerRecord::sample(0, 0, &geo, &mut rng), geo)
+    }
+
+    #[test]
+    fn capture_is_deterministic() {
+        let (p, geo) = world_peer(5);
+        assert_eq!(
+            ObservedRouterInfo::capture(&p, 3, &geo),
+            ObservedRouterInfo::capture(&p, 3, &geo)
+        );
+    }
+
+    #[test]
+    fn caps_parse_back() {
+        let geo = GeoDb::new();
+        let mut rng = DetRng::new(6);
+        for i in 0..200 {
+            let p = PeerRecord::sample(i, 0, &geo, &mut rng);
+            let obs = ObservedRouterInfo::capture(&p, 1, &geo);
+            let caps = obs.parsed_caps();
+            assert_eq!(caps.bandwidth, p.class, "caps {} for {:?}", obs.caps, p.class);
+            assert_eq!(caps.floodfill, p.floodfill);
+        }
+    }
+
+    #[test]
+    fn unknown_ip_classification_matches_reach() {
+        let geo = GeoDb::new();
+        let mut rng = DetRng::new(7);
+        let mut seen_fw = false;
+        let mut seen_hidden = false;
+        for i in 0..500 {
+            let p = PeerRecord::sample(i, 0, &geo, &mut rng);
+            let obs = ObservedRouterInfo::capture(&p, 2, &geo);
+            match p.reach_on(2) {
+                Reach::Public | Reach::UnreachablePublished => {
+                    assert!(!obs.is_unknown_ip());
+                }
+                Reach::Firewalled => {
+                    assert!(obs.is_firewalled());
+                    seen_fw = true;
+                }
+                Reach::Hidden => {
+                    assert!(obs.is_hidden());
+                    seen_hidden = true;
+                }
+                Reach::Switching => unreachable!("reach_on never returns Switching"),
+            }
+        }
+        assert!(seen_fw && seen_hidden);
+    }
+}

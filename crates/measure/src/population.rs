@@ -1,0 +1,251 @@
+//! Population analyses: Figs. 2–6.
+
+use crate::fleet::{Fleet, Vantage, VantageMode};
+use i2p_data::PeerIp;
+use i2p_sim::world::World;
+use std::collections::HashSet;
+
+/// Fig. 2: a single high-end router, five days per mode.
+#[derive(Clone, Debug)]
+pub struct SingleRouterSeries {
+    /// (day, peers observed) for the floodfill half.
+    pub floodfill: Vec<(u64, usize)>,
+    /// (day, peers observed) for the non-floodfill half.
+    pub non_floodfill: Vec<(u64, usize)>,
+}
+
+/// Runs the Fig. 2 experiment: one 8 MB/s router, 5 days in floodfill
+/// mode then 5 days in non-floodfill mode.
+pub fn single_router_experiment(world: &World, salt: u64) -> SingleRouterSeries {
+    let ff = Vantage::monitoring(VantageMode::Floodfill, salt);
+    let nf = Vantage::monitoring(VantageMode::NonFloodfill, salt);
+    let fleet_ff = Fleet { vantages: vec![ff] };
+    let fleet_nf = Fleet { vantages: vec![nf] };
+    SingleRouterSeries {
+        floodfill: (0..5)
+            .map(|d| (d + 1, fleet_ff.harvest_union(world, d).peer_count()))
+            .collect(),
+        non_floodfill: (5..10)
+            .map(|d| (d + 1, fleet_nf.harvest_union(world, d).peer_count()))
+            .collect(),
+    }
+}
+
+/// One row of the Fig. 3 bandwidth sweep.
+#[derive(Clone, Debug)]
+pub struct BandwidthSweepRow {
+    /// Shared bandwidth in KB/s.
+    pub shared_kbps: u32,
+    /// Peers seen by the floodfill vantage.
+    pub floodfill: usize,
+    /// Peers seen by the non-floodfill vantage.
+    pub non_floodfill: usize,
+    /// Union of the pair.
+    pub both: usize,
+}
+
+/// Fig. 3: 7 floodfill + 7 non-floodfill routers at increasing shared
+/// bandwidths (§4.2). Results are averaged over `days` to damp noise.
+pub fn bandwidth_sweep(world: &World, days: std::ops::Range<u64>) -> Vec<BandwidthSweepRow> {
+    const BANDWIDTHS: [u32; 7] = [128, 256, 1024, 2048, 3072, 4096, 5120];
+    let day_count = days.clone().count().max(1);
+    BANDWIDTHS
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| {
+            let ff = Vantage { mode: VantageMode::Floodfill, shared_kbps: b, salt: 0x3_000 + i as u64 };
+            let nf =
+                Vantage { mode: VantageMode::NonFloodfill, shared_kbps: b, salt: 0x4_000 + i as u64 };
+            let (mut sf, mut sn, mut sb) = (0usize, 0usize, 0usize);
+            for d in days.clone() {
+                let hf = Fleet { vantages: vec![ff] }.harvest_union(world, d);
+                let hn = Fleet { vantages: vec![nf] }.harvest_union(world, d);
+                let union: HashSet<u32> = hf
+                    .records
+                    .keys()
+                    .chain(hn.records.keys())
+                    .copied()
+                    .collect();
+                sf += hf.peer_count();
+                sn += hn.peer_count();
+                sb += union.len();
+            }
+            BandwidthSweepRow {
+                shared_kbps: b,
+                floodfill: sf / day_count,
+                non_floodfill: sn / day_count,
+                both: sb / day_count,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 4: cumulative peers observed when operating 1..=n routers
+/// (half floodfill, half non-floodfill), averaged over `days`.
+pub fn cumulative_by_router_count(
+    world: &World,
+    max_routers: usize,
+    days: std::ops::Range<u64>,
+) -> Vec<(usize, usize)> {
+    let fleet = Fleet::alternating(max_routers);
+    let day_count = days.clone().count().max(1);
+    (1..=max_routers)
+        .map(|k| {
+            let total: usize = days
+                .clone()
+                .map(|d| fleet.harvest_union_prefix(world, d, k).peer_count())
+                .sum();
+            (k, total / day_count)
+        })
+        .collect()
+}
+
+/// One day of the Fig. 5 census.
+#[derive(Clone, Debug, Default)]
+pub struct DailyCensus {
+    /// Distinct peers (by hash).
+    pub peers: usize,
+    /// Distinct addresses of any family.
+    pub all_ips: usize,
+    /// Distinct IPv4 addresses.
+    pub ipv4: usize,
+    /// Distinct IPv6 addresses.
+    pub ipv6: usize,
+    /// Unknown-IP peers (Fig. 6).
+    pub unknown_ip: usize,
+    /// Firewalled peers (introducers listed).
+    pub firewalled: usize,
+    /// Hidden peers (no introducers).
+    pub hidden: usize,
+}
+
+/// Fig. 5 + Fig. 6 (single day): full-fleet census of peers and IPs.
+pub fn daily_census(world: &World, fleet: &Fleet, day: u64) -> DailyCensus {
+    let harvest = fleet.harvest_union(world, day);
+    let mut v4: HashSet<PeerIp> = HashSet::new();
+    let mut v6: HashSet<PeerIp> = HashSet::new();
+    let mut census = DailyCensus { peers: harvest.peer_count(), ..Default::default() };
+    for rec in harvest.records.values() {
+        if let Some(ip) = rec.ipv4 {
+            v4.insert(ip);
+        }
+        if let Some(ip) = rec.ipv6 {
+            v6.insert(ip);
+        }
+        if rec.is_unknown_ip() {
+            census.unknown_ip += 1;
+            if rec.is_firewalled() {
+                census.firewalled += 1;
+            } else {
+                census.hidden += 1;
+            }
+        }
+    }
+    census.ipv4 = v4.len();
+    census.ipv6 = v6.len();
+    census.all_ips = v4.len() + v6.len();
+    census
+}
+
+/// Fig. 6's overlap group: peers seen as firewalled on one day and
+/// hidden on another within the window.
+pub fn firewalled_hidden_overlap(world: &World, fleet: &Fleet, days: std::ops::Range<u64>) -> usize {
+    let mut fw: HashSet<u32> = HashSet::new();
+    let mut hid: HashSet<u32> = HashSet::new();
+    for d in days {
+        for rec in fleet.harvest_union(world, d).records.values() {
+            if rec.is_firewalled() {
+                fw.insert(rec.peer_id);
+            } else if rec.is_hidden() {
+                hid.insert(rec.peer_id);
+            }
+        }
+    }
+    fw.intersection(&hid).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use i2p_sim::world::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig { days: 12, scale: 0.04, seed: 11 })
+    }
+
+    #[test]
+    fn fig2_modes_comparable_and_stable() {
+        let w = world();
+        let s = single_router_experiment(&w, 0xF16_2);
+        assert_eq!(s.floodfill.len(), 5);
+        assert_eq!(s.non_floodfill.len(), 5);
+        // Both modes observe a large, similar population (Fig. 2 shows
+        // 15–16 K of ~32 K; tolerances generous at test scale).
+        for (_, n) in s.floodfill.iter().chain(&s.non_floodfill) {
+            let frac = *n as f64 / w.online_count(5) as f64;
+            assert!((0.30..0.65).contains(&frac), "coverage {frac}");
+        }
+    }
+
+    #[test]
+    fn fig3_union_flatter_than_parts() {
+        let w = world();
+        let rows = bandwidth_sweep(&w, 2..6);
+        // Non-floodfill coverage grows with bandwidth.
+        assert!(rows.last().unwrap().non_floodfill > rows[0].non_floodfill);
+        // The pair union varies less (relatively) than the non-floodfill
+        // curve — the paper's "constant 17–18 K" plateau.
+        let nf_rel = rows.last().unwrap().non_floodfill as f64 / rows[0].non_floodfill as f64;
+        let both_rel = rows.last().unwrap().both as f64 / rows[0].both as f64;
+        assert!(both_rel < nf_rel, "union must be flatter: {both_rel} vs {nf_rel}");
+        // Union exceeds each part.
+        for r in &rows {
+            assert!(r.both >= r.floodfill.max(r.non_floodfill));
+        }
+    }
+
+    #[test]
+    fn fig4_concave_and_saturating() {
+        let w = world();
+        let curve = cumulative_by_router_count(&w, 12, 3..5);
+        // Monotone non-decreasing.
+        for win in curve.windows(2) {
+            assert!(win[1].1 >= win[0].1);
+        }
+        // Concave-ish: the first half of the routers contribute more
+        // than the second half (logarithmic growth, §4.3).
+        let first_half = curve[5].1 - curve[0].1;
+        let second_half = curve[11].1 - curve[5].1;
+        assert!(first_half > second_half, "{first_half} vs {second_half}");
+    }
+
+    #[test]
+    fn fig5_ips_below_peers() {
+        let w = world();
+        let fleet = Fleet::paper_main();
+        let c = daily_census(&w, &fleet, 6);
+        assert!(c.all_ips < c.peers, "unique IPs ({}) below peers ({})", c.all_ips, c.peers);
+        assert!(c.ipv6 < c.ipv4, "IPv6 well below IPv4");
+        assert!(c.peers > 0 && c.ipv4 > 0 && c.ipv6 > 0);
+    }
+
+    #[test]
+    fn fig6_firewalled_dominate_unknown_ip() {
+        let w = world();
+        let fleet = Fleet::paper_main();
+        let c = daily_census(&w, &fleet, 6);
+        assert_eq!(c.unknown_ip, c.firewalled + c.hidden);
+        assert!(c.firewalled > c.hidden * 2, "fw {} vs hidden {}", c.firewalled, c.hidden);
+        // Roughly half the network has no published IP.
+        let share = c.unknown_ip as f64 / c.peers as f64;
+        assert!((0.35..0.60).contains(&share), "unknown-IP share {share}");
+    }
+
+    #[test]
+    fn fig6_overlap_nonempty() {
+        let w = world();
+        let fleet = Fleet::paper_main();
+        let overlap = firewalled_hidden_overlap(&w, &fleet, 0..10);
+        assert!(overlap > 0, "switching peers must appear in both groups");
+    }
+}

@@ -1,0 +1,291 @@
+//! Text renderers: print every figure/table in the paper's layout.
+//!
+//! Each renderer returns a `String` so benches can both print it and
+//! archive it; all numbers come straight from the analysis structs.
+
+use crate::capacity::{BandwidthTable, CapacityHistogram, FloodfillEstimate};
+use crate::censor::BlockingSeries;
+use crate::churn::ChurnCurves;
+use crate::geo::{AsReport, GeoReport};
+use crate::ipchurn::IpChurnReport;
+use crate::population::{BandwidthSweepRow, DailyCensus, SingleRouterSeries};
+use crate::usability::UsabilityPoint;
+use std::fmt::Write as _;
+
+fn header(title: &str) -> String {
+    format!("{}\n{}\n", title, "-".repeat(title.len()))
+}
+
+/// Fig. 2 renderer.
+pub fn render_fig2(s: &SingleRouterSeries) -> String {
+    let mut out = header("Figure 2: peers observed by one 8 MB/s router (5 d per mode)");
+    out.push_str("day   mode           observed peers\n");
+    for (d, n) in &s.floodfill {
+        let _ = writeln!(out, "{d:>3}   floodfill      {n:>8}");
+    }
+    for (d, n) in &s.non_floodfill {
+        let _ = writeln!(out, "{d:>3}   non-floodfill  {n:>8}");
+    }
+    out
+}
+
+/// Fig. 3 renderer.
+pub fn render_fig3(rows: &[BandwidthSweepRow]) -> String {
+    let mut out = header("Figure 3: observed peers vs shared bandwidth (7 ff + 7 non-ff)");
+    out.push_str("bandwidth   floodfill   non-floodfill     both\n");
+    for r in rows {
+        let bw = if r.shared_kbps >= 1024 {
+            format!("{} MB/s", r.shared_kbps / 1024)
+        } else {
+            format!("{} KB/s", r.shared_kbps)
+        };
+        let _ = writeln!(
+            out,
+            "{bw:>9}   {:>9}   {:>13}   {:>6}",
+            r.floodfill, r.non_floodfill, r.both
+        );
+    }
+    out
+}
+
+/// Fig. 4 renderer.
+pub fn render_fig4(curve: &[(usize, usize)]) -> String {
+    let mut out = header("Figure 4: cumulative peers observed by 1..n routers");
+    out.push_str("routers   observed peers   % of max\n");
+    let max = curve.last().map(|&(_, n)| n).unwrap_or(1).max(1);
+    for &(k, n) in curve {
+        let _ = writeln!(out, "{k:>7}   {n:>14}   {:>7.1}%", 100.0 * n as f64 / max as f64);
+    }
+    out
+}
+
+/// Fig. 5 renderer (time series of daily censuses).
+pub fn render_fig5(series: &[(u64, DailyCensus)]) -> String {
+    let mut out = header("Figure 5: unique peers and IP addresses per day");
+    out.push_str("day   peers    all-IPs   IPv4     IPv6\n");
+    for (d, c) in series {
+        let _ = writeln!(
+            out,
+            "{d:>3}   {:>6}   {:>7}   {:>6}   {:>5}",
+            c.peers, c.all_ips, c.ipv4, c.ipv6
+        );
+    }
+    out
+}
+
+/// Fig. 6 renderer.
+pub fn render_fig6(series: &[(u64, DailyCensus)], overlap: usize) -> String {
+    let mut out = header("Figure 6: peers with unknown IP addresses");
+    out.push_str("day   unknown-IP   firewalled   hidden\n");
+    for (d, c) in series {
+        let _ = writeln!(
+            out,
+            "{d:>3}   {:>10}   {:>10}   {:>6}",
+            c.unknown_ip, c.firewalled, c.hidden
+        );
+    }
+    let _ = writeln!(out, "window overlap (fw ∩ hidden over time): {overlap}");
+    out
+}
+
+/// Fig. 7 renderer.
+pub fn render_fig7(c: &ChurnCurves, days: &[usize]) -> String {
+    let mut out = header("Figure 7: % of peers staying in the network for n days");
+    let _ = writeln!(out, "cohort size: {}", c.cohort);
+    out.push_str("days   continuous   intermittent\n");
+    for &n in days {
+        let _ = writeln!(
+            out,
+            "{n:>4}   {:>9.2}%   {:>11.2}%",
+            c.continuous_at(n),
+            c.intermittent_at(n)
+        );
+    }
+    out
+}
+
+/// Fig. 8 renderer.
+pub fn render_fig8(r: &IpChurnReport) -> String {
+    let mut out = header("Figure 8: number of IP addresses I2P peers are associated with");
+    out.push_str("IPs    peers      % of known-IP peers\n");
+    for (k, &n) in r.ip_hist.iter().enumerate().skip(1) {
+        let label = if k == r.ip_hist.len() - 1 { format!("{k}+") } else { k.to_string() };
+        let _ = writeln!(
+            out,
+            "{label:>4}   {n:>7}    {:>6.2}%",
+            100.0 * n as f64 / r.known_ip_peers.max(1) as f64
+        );
+    }
+    let _ = writeln!(out, "known-IP peers: {}", r.known_ip_peers);
+    let _ = writeln!(
+        out,
+        "single-IP: {:.1}%   multi-IP: {:.1}%   >100 IPs: {} peers ({:.2}%)",
+        100.0 * r.ip_hist[1] as f64 / r.known_ip_peers.max(1) as f64,
+        100.0 * r.multi_ip_peers as f64 / r.known_ip_peers.max(1) as f64,
+        r.over_100_ips,
+        100.0 * r.over_100_ips as f64 / r.known_ip_peers.max(1) as f64,
+    );
+    out
+}
+
+/// Fig. 9 renderer.
+pub fn render_fig9(h: &CapacityHistogram) -> String {
+    let mut out = header("Figure 9: capacity distribution of I2P peers (daily average)");
+    out.push_str("class   observed peers\n");
+    for (i, letter) in ['K', 'L', 'M', 'N', 'O', 'P', 'X'].iter().enumerate() {
+        let _ = writeln!(out, "{letter:>5}   {:>12}", h.counts[i]);
+    }
+    out
+}
+
+/// Table 1 renderer.
+pub fn render_table1(t: &BandwidthTable, est: &FloodfillEstimate) -> String {
+    let mut out = header("Table 1: % of routers per bandwidth class and group");
+    out.push_str("class   floodfill   reachable   unreachable     total\n");
+    for (i, letter) in ['K', 'L', 'M', 'N', 'O', 'P', 'X'].iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{letter:>5}   {:>8.2}%   {:>8.2}%   {:>10.2}%   {:>6.2}%",
+            t.floodfill[i], t.reachable[i], t.unreachable[i], t.total[i]
+        );
+    }
+    let _ = writeln!(
+        out,
+        "groups: floodfill {} / reachable {} / unreachable {} / total {}",
+        t.group_sizes[0], t.group_sizes[1], t.group_sizes[2], t.group_sizes[3]
+    );
+    let _ = writeln!(
+        out,
+        "qualified floodfills: {} of {} ({:.0}%)  →  population ≈ {:.0} (÷0.06)",
+        est.qualified_floodfills,
+        est.observed_floodfills,
+        est.qualified_share * 100.0,
+        est.estimated_population
+    );
+    out
+}
+
+/// Fig. 10 renderer.
+pub fn render_fig10(rep: &GeoReport, top: usize) -> String {
+    let mut out = header("Figure 10: top countries where I2P peers reside");
+    out.push_str("rank   country              peers    cumulative\n");
+    for (i, row) in rep.rows.iter().take(top).enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>4}   {:<18}   {:>6}    {:>8.1}%",
+            i + 1,
+            row.label,
+            row.peers,
+            row.cumulative_pct
+        );
+    }
+    let _ = writeln!(
+        out,
+        "censored countries (press freedom > 50): {} with {} peers; countries observed: {}; unresolved addresses: {}",
+        rep.censored_countries, rep.censored_peers, rep.countries_observed, rep.unresolved_addresses
+    );
+    out
+}
+
+/// Fig. 11 renderer.
+pub fn render_fig11(rep: &AsReport, top: usize) -> String {
+    let mut out = header("Figure 11: top autonomous systems where I2P peers reside");
+    out.push_str("rank   ASN        peers    cumulative\n");
+    for (i, row) in rep.rows.iter().take(top).enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>4}   AS{:<7}  {:>6}    {:>8.1}%",
+            i + 1,
+            row.label,
+            row.peers,
+            row.cumulative_pct
+        );
+    }
+    out
+}
+
+/// Fig. 12 renderer.
+pub fn render_fig12(r: &IpChurnReport) -> String {
+    let mut out = header("Figure 12: number of ASes in which multi-IP peers reside");
+    out.push_str("ASes   peers      % of multi-IP peers\n");
+    for (k, &n) in r.as_hist.iter().enumerate().skip(1) {
+        let label = if k == r.as_hist.len() - 1 { format!("{k}+") } else { k.to_string() };
+        let _ = writeln!(
+            out,
+            "{label:>4}   {n:>7}    {:>6.2}%",
+            100.0 * n as f64 / r.multi_ip_peers.max(1) as f64
+        );
+    }
+    let _ = writeln!(out, "max ASes for one peer: {}   max countries: {}", r.max_ases, r.max_countries);
+    out
+}
+
+/// Fig. 13 renderer.
+pub fn render_fig13(series: &[BlockingSeries]) -> String {
+    let mut out = header("Figure 13: blocking rates under different blacklist time windows");
+    out.push_str("routers");
+    for s in series {
+        let _ = write!(out, "   {:>2}-day", s.window_days);
+    }
+    out.push('\n');
+    let n_points = series.first().map(|s| s.points.len()).unwrap_or(0);
+    for i in 0..n_points {
+        let _ = write!(out, "{:>7}", series[0].points[i].0);
+        for s in series {
+            let _ = write!(out, "   {:>5.1}%", s.points[i].1);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Fig. 14 renderer.
+pub fn render_fig14(points: &[UsabilityPoint]) -> String {
+    let mut out = header("Figure 14: timeouts and page-load latency under blockage");
+    out.push_str("blocking   timed-out requests   page load time\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>7.0}%   {:>17.0}%   {:>12.1} s",
+            p.blocking_rate_pct, p.timeout_pct, p.avg_load_time_s
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renderers_produce_rows() {
+        let fig4 = render_fig4(&[(1, 100), (2, 150), (3, 170)]);
+        assert!(fig4.contains("Figure 4"));
+        assert!(fig4.lines().count() >= 6);
+        assert!(fig4.contains("100.0%"), "last row is max: {fig4}");
+
+        let churn = ChurnCurves {
+            continuous: vec![100.0, 80.0, 60.0],
+            intermittent: vec![100.0, 90.0, 70.0],
+            cohort: 42,
+        };
+        let fig7 = render_fig7(&churn, &[1, 2]);
+        assert!(fig7.contains("cohort size: 42"));
+        assert!(fig7.contains("80.00%"));
+
+        let fig13 = render_fig13(&[BlockingSeries {
+            window_days: 1,
+            points: vec![(2, 65.0), (20, 95.5)],
+        }]);
+        assert!(fig13.contains("95.5%"));
+
+        let fig14 = render_fig14(&[UsabilityPoint {
+            blocking_rate_pct: 65.0,
+            avg_load_time_s: 21.5,
+            timeout_pct: 40.0,
+            fetches: vec![],
+        }]);
+        assert!(fig14.contains("21.5 s"));
+        assert!(fig14.contains("40%"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Censorship-strategy comparison: port blocking vs DPI vs
+//! address-based filtering (§2.2.2).
+//!
+//! The paper argues qualitatively that port-based blocking "can
+//! unintentionally block the traffic of other legitimate applications",
+//! that DPI catches the legacy NTCP signature but not obfuscated
+//! transports, and that destination (address-based) filtering is the
+//! only approach that is both effective and low-collateral. This module
+//! makes the comparison quantitative over a synthetic traffic mix.
+
+use i2p_crypto::DetRng;
+use i2p_data::addr::{PORT_MAX, PORT_MIN};
+use i2p_transport::dpi::{classify_flow, FlowVerdict};
+use i2p_transport::handshake::HANDSHAKE_SIZES;
+
+/// One flow in the background traffic mix.
+#[derive(Clone, Debug)]
+pub struct Flow {
+    /// Destination port.
+    pub port: u16,
+    /// Whether the destination IP is on the censor's address blacklist.
+    pub dst_blacklisted: bool,
+    /// First-message sizes (what DPI sees).
+    pub msg_sizes: Vec<usize>,
+    /// Ground truth: is this I2P?
+    pub is_i2p: bool,
+}
+
+/// A censorship strategy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// Drop everything on the I2P port range 9000–31000 (§2.2.2).
+    PortRange,
+    /// Drop UDP port 123 (NTP) — the paper's example of a dependency
+    /// chokepoint with huge collateral.
+    NtpPort,
+    /// Drop flows matching the NTCP handshake signature.
+    Dpi,
+    /// Drop flows to blacklisted addresses (the paper's §6 approach).
+    AddressBased,
+}
+
+impl Strategy {
+    /// All strategies.
+    pub const ALL: [Strategy; 4] =
+        [Strategy::PortRange, Strategy::NtpPort, Strategy::Dpi, Strategy::AddressBased];
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::PortRange => "port range 9000-31000",
+            Strategy::NtpPort => "UDP port 123 (NTP)",
+            Strategy::Dpi => "DPI (NTCP signature)",
+            Strategy::AddressBased => "address blacklist",
+        }
+    }
+
+    /// Whether this strategy drops `flow`.
+    pub fn blocks(&self, flow: &Flow) -> bool {
+        match self {
+            Strategy::PortRange => (PORT_MIN..=PORT_MAX).contains(&flow.port),
+            Strategy::NtpPort => flow.port == 123,
+            Strategy::Dpi => classify_flow(&flow.msg_sizes) == FlowVerdict::I2pNtcp,
+            Strategy::AddressBased => flow.dst_blacklisted,
+        }
+    }
+}
+
+/// Effectiveness/collateral scores of one strategy.
+#[derive(Clone, Debug)]
+pub struct StrategyScore {
+    /// The strategy.
+    pub strategy: Strategy,
+    /// Share of I2P flows blocked (effectiveness, %).
+    pub i2p_blocked_pct: f64,
+    /// Share of legitimate flows blocked (collateral damage, %).
+    pub collateral_pct: f64,
+}
+
+/// Generates a synthetic traffic mix: `n_i2p` I2P flows (a share of
+/// them NTCP2-obfuscated and a share with blacklisted destinations,
+/// reflecting the censor's Fig. 13 coverage) plus `n_legit` legitimate
+/// flows over common ports — a slice of which land in the 9000–31000
+/// range (game servers, VoIP, databases) or on NTP.
+pub fn synthetic_mix(
+    n_i2p: usize,
+    n_legit: usize,
+    ntcp2_share: f64,
+    blacklist_coverage: f64,
+    rng: &mut DetRng,
+) -> Vec<Flow> {
+    let mut flows = Vec::with_capacity(n_i2p + n_legit);
+    for _ in 0..n_i2p {
+        let obfuscated = rng.chance(ntcp2_share);
+        let msg_sizes = if obfuscated {
+            // NTCP2-style randomised sizes.
+            vec![
+                64 + rng.below(65) as usize,
+                96 + rng.below(65) as usize,
+                120 + rng.below(65) as usize,
+                40 + rng.below(65) as usize,
+            ]
+        } else {
+            HANDSHAKE_SIZES.to_vec()
+        };
+        flows.push(Flow {
+            port: PORT_MIN + rng.below((PORT_MAX - PORT_MIN) as u64 + 1) as u16,
+            dst_blacklisted: rng.chance(blacklist_coverage),
+            msg_sizes,
+            is_i2p: true,
+        });
+    }
+    for _ in 0..n_legit {
+        // 70 % web-ish, 10 % NTP, 12 % high arbitrary ports (games, VoIP),
+        // 8 % other low ports.
+        let roll = rng.next_f64();
+        let port = if roll < 0.70 {
+            if rng.chance(0.5) { 443 } else { 80 }
+        } else if roll < 0.80 {
+            123
+        } else if roll < 0.92 {
+            PORT_MIN + rng.below((PORT_MAX - PORT_MIN) as u64 + 1) as u16
+        } else {
+            22 + rng.below(1000) as u16
+        };
+        // Legitimate flows have TLS-like variable message sizes.
+        let msg_sizes = vec![
+            200 + rng.below(1200) as usize,
+            600 + rng.below(3000) as usize,
+            100 + rng.below(2000) as usize,
+            40 + rng.below(200) as usize,
+        ];
+        flows.push(Flow { port, dst_blacklisted: false, msg_sizes, is_i2p: false });
+    }
+    flows
+}
+
+/// Scores every strategy over a traffic mix.
+pub fn score_strategies(flows: &[Flow]) -> Vec<StrategyScore> {
+    let i2p_total = flows.iter().filter(|f| f.is_i2p).count().max(1);
+    let legit_total = flows.iter().filter(|f| !f.is_i2p).count().max(1);
+    Strategy::ALL
+        .iter()
+        .map(|&s| {
+            let i2p_blocked = flows.iter().filter(|f| f.is_i2p && s.blocks(f)).count();
+            let collateral = flows.iter().filter(|f| !f.is_i2p && s.blocks(f)).count();
+            StrategyScore {
+                strategy: s,
+                i2p_blocked_pct: 100.0 * i2p_blocked as f64 / i2p_total as f64,
+                collateral_pct: 100.0 * collateral as f64 / legit_total as f64,
+            }
+        })
+        .collect()
+}
+
+/// Renders the comparison table.
+pub fn render_strategies(scores: &[StrategyScore]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "Censorship strategies: effectiveness vs collateral damage (§2.2.2)\n\
+         -------------------------------------------------------------------\n\
+         strategy                 I2P blocked   legit traffic blocked\n",
+    );
+    for s in scores {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10.1}%   {:>18.1}%",
+            s.strategy.label(),
+            s.i2p_blocked_pct,
+            s.collateral_pct
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(ntcp2: f64, blacklist: f64) -> Vec<Flow> {
+        let mut rng = DetRng::new(0x57_247);
+        synthetic_mix(2_000, 20_000, ntcp2, blacklist, &mut rng)
+    }
+
+    #[test]
+    fn port_blocking_has_heavy_collateral() {
+        let scores = score_strategies(&mix(0.0, 0.95));
+        let port = &scores[0];
+        assert!(port.i2p_blocked_pct > 99.0, "port range catches all I2P");
+        assert!(
+            port.collateral_pct > 8.0,
+            "…but hits legitimate high-port traffic: {:.1}%",
+            port.collateral_pct
+        );
+    }
+
+    #[test]
+    fn dpi_catches_legacy_but_not_ntcp2() {
+        let legacy = score_strategies(&mix(0.0, 0.95));
+        let dpi_legacy = legacy.iter().find(|s| s.strategy == Strategy::Dpi).unwrap();
+        assert!(dpi_legacy.i2p_blocked_pct > 99.0);
+        assert!(dpi_legacy.collateral_pct < 0.5, "DPI is precise");
+
+        let obfuscated = score_strategies(&mix(1.0, 0.95));
+        let dpi_obf = obfuscated.iter().find(|s| s.strategy == Strategy::Dpi).unwrap();
+        assert_eq!(dpi_obf.i2p_blocked_pct, 0.0, "NTCP2 defeats the signature");
+    }
+
+    #[test]
+    fn address_blocking_tracks_blacklist_coverage_with_no_collateral() {
+        let scores = score_strategies(&mix(0.5, 0.9));
+        let addr = scores
+            .iter()
+            .find(|s| s.strategy == Strategy::AddressBased)
+            .unwrap();
+        assert!((addr.i2p_blocked_pct - 90.0).abs() < 3.0, "{:.1}", addr.i2p_blocked_pct);
+        assert_eq!(addr.collateral_pct, 0.0);
+        // And it is transport-agnostic: obfuscation does not help.
+        let all_obf = score_strategies(&mix(1.0, 0.9));
+        let addr_obf = all_obf
+            .iter()
+            .find(|s| s.strategy == Strategy::AddressBased)
+            .unwrap();
+        assert!((addr_obf.i2p_blocked_pct - 90.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn ntp_blocking_is_all_collateral() {
+        let scores = score_strategies(&mix(0.0, 0.9));
+        let ntp = scores.iter().find(|s| s.strategy == Strategy::NtpPort).unwrap();
+        assert_eq!(ntp.i2p_blocked_pct, 0.0, "I2P data traffic is not on 123");
+        assert!(ntp.collateral_pct > 5.0, "NTP users suffer: {:.1}%", ntp.collateral_pct);
+    }
+}

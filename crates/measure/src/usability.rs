@@ -1,0 +1,410 @@
+//! Network usability under blocking: Fig. 14 (§6.2.3).
+//!
+//! Reproduces the paper's eepsite experiment on the protocol-level
+//! `TestNet`: a victim client fetches a small eepsite repeatedly while
+//! its upstream null-routes a growing share of peer IPs. Page-load time
+//! and HTTP-504 timeout rates emerge from real tunnel-build retries,
+//! LeaseSet lookups and garlic round trips — nothing here is a formula.
+
+use i2p_data::{Duration, Hash256, PeerIp};
+use i2p_router::config::{FloodfillMode, Reachability, RouterConfig};
+use i2p_router::net::AppEvent;
+use i2p_router::router::Eepsite;
+use i2p_router::{NetMsg, TestNet};
+use i2p_transport::BlockList;
+use i2p_tunnel::pool::TunnelDirection;
+
+/// Experiment configuration.
+#[derive(Clone, Debug)]
+pub struct UsabilityConfig {
+    /// Relay routers in the reachable network.
+    pub relays: usize,
+    /// How many of them run floodfill.
+    pub floodfills: usize,
+    /// Fetches per blocking rate ("we then crawl these eepsites 10
+    /// times for each blocking rate", §6.2.3).
+    pub fetches_per_rate: usize,
+    /// Blocking rates to evaluate (fraction, e.g. 0.65).
+    pub blocking_rates: Vec<f64>,
+    /// HTTP timeout after which a fetch counts as a 504 (§6.2.3).
+    pub request_timeout: Duration,
+    /// Tunnel-build / lookup attempt timeout.
+    pub attempt_timeout: Duration,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for UsabilityConfig {
+    fn default() -> Self {
+        UsabilityConfig {
+            relays: 64,
+            floodfills: 12,
+            fetches_per_rate: 10,
+            blocking_rates: vec![
+                0.0, 0.65, 0.67, 0.69, 0.71, 0.73, 0.75, 0.77, 0.79, 0.81, 0.83, 0.85, 0.87,
+                0.89, 0.91, 0.93, 0.95, 0.97,
+            ],
+            request_timeout: Duration::from_secs(60),
+            attempt_timeout: Duration::from_secs(10),
+            seed: 0xF16_14,
+        }
+    }
+}
+
+/// One measured point of Fig. 14.
+#[derive(Clone, Debug)]
+pub struct UsabilityPoint {
+    /// Blocking rate in percent.
+    pub blocking_rate_pct: f64,
+    /// Mean page-load time (seconds) over *completed* fetches; equals
+    /// the timeout when nothing completed.
+    pub avg_load_time_s: f64,
+    /// Share of fetches that returned HTTP 504 (timed out).
+    pub timeout_pct: f64,
+    /// Raw per-fetch outcomes (seconds, None = 504).
+    pub fetches: Vec<Option<f64>>,
+}
+
+/// Runs the full Fig. 14 sweep. Every rate re-runs on an identically
+/// seeded network, so the blocked IP sets are *nested* as the rate grows
+/// — the x-axis varies only the blocking rate, exactly like the paper's
+/// progressive null-route configuration (§6.2.3).
+pub fn evaluate(cfg: &UsabilityConfig) -> Vec<UsabilityPoint> {
+    cfg.blocking_rates
+        .iter()
+        .map(|&rate| run_one_rate(cfg, rate, cfg.seed))
+        .collect()
+}
+
+/// Runs one blocking rate.
+pub fn run_one_rate(cfg: &UsabilityConfig, rate: f64, seed: u64) -> UsabilityPoint {
+    let mut net = TestNet::new(seed);
+    // Relay substrate.
+    for i in 0..cfg.relays {
+        net.add_router(RouterConfig {
+            shared_kbps: if i % 3 == 0 { 2048 } else { 512 },
+            floodfill: if i < cfg.floodfills { FloodfillMode::Manual } else { FloodfillMode::Disabled },
+            reachability: Reachability::Public,
+            country: 0,
+            max_participating_tunnels: 5_000,
+            version: "0.9.34",
+        });
+    }
+    let server = net.add_router(RouterConfig::default_client(0));
+    let victim = net.add_router(RouterConfig::default_client(0));
+    net.router_mut(server).eepsite =
+        Some(Eepsite { body: b"<html><body>test eepsite</body></html>".to_vec() });
+
+    // Bootstrap + publish everyone.
+    net.refresh_reseeds();
+    for i in 0..net.len() {
+        net.bootstrap(i);
+    }
+    for i in 0..net.len() {
+        let now = net.now();
+        let out = net.router_mut(i).publish_self(now);
+        net.dispatch(i, out);
+    }
+    net.run_for(Duration::from_secs(30));
+
+    // The victim is a long-term client: it already knows the whole
+    // relay population (§6.2.2's "many RouterInfos in its netDb").
+    for i in 0..cfg.relays {
+        let ri = net.router(i).make_router_info(net.now());
+        let now = net.now();
+        net.router_mut(victim).learn_router(ri, now);
+    }
+
+    // Install the censor: a random `rate` share of relay IPs, scoped to
+    // the victim's uplink (null routing, §6.2.3).
+    let mut rng = net.fork_rng(0xB10C ^ seed);
+    let victim_ip = net.source_ip(victim);
+    let mut bl = BlockList::new(3650);
+    let mut relay_ips: Vec<PeerIp> = (0..cfg.relays).map(|i| net.source_ip(i)).collect();
+    rng.shuffle(&mut relay_ips);
+    let n_block = (rate * cfg.relays as f64).round() as usize;
+    for ip in relay_ips.into_iter().take(n_block) {
+        bl.observe(ip, 0);
+    }
+    net.fabric.set_blocklist(bl);
+    net.fabric.set_victim(victim_ip);
+
+    // Server keeps healthy tunnels + a published LeaseSet (the server
+    // sits outside the censored uplink).
+    maintain_server(&mut net, server, &mut rng);
+
+    let dest = net.router(server).hash();
+    let mut fetches = Vec::with_capacity(cfg.fetches_per_rate);
+    for _ in 0..cfg.fetches_per_rate {
+        maintain_server(&mut net, server, &mut rng);
+        let t = fetch_once(&mut net, victim, &dest, cfg, &mut rng);
+        fetches.push(t);
+        // Think time between page loads.
+        let gap = net.now() + Duration::from_secs(5);
+        net.run_until(gap);
+    }
+
+    let completed: Vec<f64> = fetches.iter().flatten().copied().collect();
+    let timeout_pct = 100.0 * (fetches.len() - completed.len()) as f64 / fetches.len() as f64;
+    let avg = if completed.is_empty() {
+        cfg.request_timeout.as_secs_f64()
+    } else {
+        completed.iter().sum::<f64>() / completed.len() as f64
+    };
+    UsabilityPoint {
+        blocking_rate_pct: rate * 100.0,
+        avg_load_time_s: avg,
+        timeout_pct,
+        fetches,
+    }
+}
+
+/// Keeps the server's tunnels alive and its LeaseSet published.
+fn maintain_server(net: &mut TestNet, server: usize, rng: &mut i2p_crypto::DetRng) {
+    let now = net.now();
+    net.router_mut(server).tick(now);
+    for dir in [TunnelDirection::Inbound, TunnelDirection::Outbound] {
+        let pool_dry = match dir {
+            TunnelDirection::Inbound => net.router(server).inbound.live_count(now) == 0,
+            TunnelDirection::Outbound => net.router(server).outbound.live_count(now) == 0,
+        };
+        if pool_dry {
+            if let Some((msgs, _)) = net.router_mut(server).start_tunnel_build(dir, 2, now, rng) {
+                net.dispatch(server, msgs);
+            }
+        }
+    }
+    net.run_for(Duration::from_secs(5));
+    let now = net.now();
+    let out = net.router_mut(server).publish_leaseset(now);
+    net.dispatch(server, out);
+    net.run_for(Duration::from_secs(5));
+}
+
+/// Drives a single page fetch with tunnel repair, LeaseSet lookup and
+/// the HTTP timeout. Returns the load time in seconds, or `None` on 504.
+fn fetch_once(
+    net: &mut TestNet,
+    victim: usize,
+    dest: &Hash256,
+    cfg: &UsabilityConfig,
+    rng: &mut i2p_crypto::DetRng,
+) -> Option<f64> {
+    let t0 = net.now();
+    let deadline = t0 + cfg.request_timeout;
+
+    // Phase 1: ensure live tunnels. I2P launches several build attempts
+    // in parallel; each blocked hop silently eats the attempt timeout
+    // (the null route gives no error signal), so parallelism is what
+    // keeps the latency finite at moderate blocking rates.
+    const PARALLEL_BUILDS: usize = 2;
+    loop {
+        let now = net.now();
+        if now >= deadline {
+            return None;
+        }
+        net.router_mut(victim).tick(now);
+        let need_out = net.router(victim).outbound.live_count(now) == 0;
+        let need_in = net.router(victim).inbound.live_count(now) == 0;
+        if !need_out && !need_in {
+            break;
+        }
+        let dir = if need_out { TunnelDirection::Outbound } else { TunnelDirection::Inbound };
+        let started = net.now();
+        let mut launched = Vec::new();
+        for _ in 0..PARALLEL_BUILDS {
+            if let Some((msgs, id)) = net.router_mut(victim).start_tunnel_build(dir, 2, started, rng)
+            {
+                net.dispatch(victim, msgs);
+                launched.push(id);
+            }
+        }
+        // Wait in short slices, breaking as soon as one build lands (a
+        // successful build resolves in one RTT; only failures burn the
+        // whole attempt timeout).
+        let attempt_deadline = (started + cfg.attempt_timeout).min(deadline);
+        loop {
+            let now = net.now();
+            if now >= attempt_deadline {
+                break;
+            }
+            net.run_until((now + Duration::from_millis(250)).min(attempt_deadline));
+            let done = match dir {
+                TunnelDirection::Outbound => net.router(victim).outbound.live_count(net.now()) > 0,
+                TunnelDirection::Inbound => net.router(victim).inbound.live_count(net.now()) > 0,
+            };
+            if done {
+                break;
+            }
+        }
+        for id in launched {
+            if net.router(victim).build_pending(id) {
+                let now = net.now();
+                net.router_mut(victim).fail_pending_build(id, now);
+            }
+        }
+    }
+
+    // Phase 2: ensure a live LeaseSet for the destination. Failed
+    // lookups retry against *further* floodfills with an exclude list,
+    // as real DLM retries do (§2.1.2) — under blocking, the closest
+    // floodfills may all be null-routed.
+    let mut tried: Vec<Hash256> = Vec::new();
+    loop {
+        let now = net.now();
+        if now >= deadline {
+            return None;
+        }
+        let have_live_ls = net
+            .router(victim)
+            .store
+            .lease_set(dest)
+            .map(|ls| !ls.is_expired(now))
+            .unwrap_or(false);
+        if have_live_ls {
+            break;
+        }
+        let ranked = {
+            let r = net.router(victim);
+            let ffs: Vec<Hash256> = r.floodfills.iter().copied().collect();
+            i2p_netdb::store::NetDbStore::closest_floodfills(dest, &ffs, now, ffs.len())
+        };
+        let batch: Vec<Hash256> = ranked
+            .into_iter()
+            .filter(|f| !tried.contains(f))
+            .take(2)
+            .collect();
+        if batch.is_empty() {
+            // Exhausted every known floodfill: start over (records may
+            // have landed elsewhere meanwhile).
+            tried.clear();
+            net.run_until((now + cfg.attempt_timeout).min(deadline));
+            continue;
+        }
+        // Route the DLM through the outbound tunnel's gateway and ask
+        // for the reply via the inbound gateway — tunnel-routed lookups
+        // mean only victim-adjacent links cross the censor (§2.1.2).
+        let from = net.router(victim).hash();
+        let now2 = net.now();
+        let out_gw = net.router(victim).outbound.freshest(now2).and_then(|t| t.gateway());
+        let in_gw = net.router(victim).inbound.freshest(now2).and_then(|t| t.gateway());
+        for t in batch {
+            tried.push(t);
+            let dlm = NetMsg::Lookup(i2p_netdb::messages::DatabaseLookup {
+                key: *dest,
+                from,
+                kind: i2p_netdb::messages::LookupKind::LeaseSet,
+                exclude: tried.clone(),
+                reply_via: in_gw,
+            });
+            match out_gw {
+                Some(gw) => {
+                    net.send(
+                        victim,
+                        gw,
+                        NetMsg::RelayIntro { target: t, inner: Box::new(dlm) },
+                    );
+                }
+                None => {
+                    net.send(victim, t, dlm);
+                }
+            }
+        }
+        // Short-slice wait with early exit once the LeaseSet arrives.
+        let attempt_deadline = (now + cfg.attempt_timeout).min(deadline);
+        loop {
+            let now = net.now();
+            if now >= attempt_deadline {
+                break;
+            }
+            net.run_until((now + Duration::from_millis(250)).min(attempt_deadline));
+            let got = net
+                .router(victim)
+                .store
+                .lease_set(dest)
+                .map(|ls| !ls.is_expired(net.now()))
+                .unwrap_or(false);
+            if got {
+                break;
+            }
+        }
+    }
+
+    // Phase 3: the request/response round trip.
+    let now = net.now();
+    let (msgs, request_id) = net.router_mut(victim).start_fetch(dest, now, rng)?;
+    net.dispatch(victim, msgs);
+    // Step in slices until the response lands or the timeout expires.
+    loop {
+        let now = net.now();
+        if now >= deadline {
+            return None;
+        }
+        let slice = (now + Duration::from_millis(500)).min(deadline);
+        net.run_until(slice);
+        let done = net.router(victim).app_events.iter().find_map(|e| match e {
+            AppEvent::FetchCompleted { request_id: r, at, .. } if *r == request_id => Some(*at),
+            _ => None,
+        });
+        if let Some(at) = done {
+            return Some(at.since(t0).as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(rates: Vec<f64>) -> UsabilityConfig {
+        UsabilityConfig {
+            relays: 40,
+            floodfills: 8,
+            fetches_per_rate: 4,
+            blocking_rates: rates,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn unblocked_fetches_fast_and_reliable() {
+        let cfg = quick_cfg(vec![0.0]);
+        let pts = evaluate(&cfg);
+        let p = &pts[0];
+        assert_eq!(p.timeout_pct, 0.0, "no timeouts without blocking: {:?}", p.fetches);
+        assert!(p.avg_load_time_s < 10.0, "baseline load time {}", p.avg_load_time_s);
+    }
+
+    #[test]
+    fn heavy_blocking_times_out() {
+        let cfg = quick_cfg(vec![0.97]);
+        let pts = evaluate(&cfg);
+        assert!(
+            pts[0].timeout_pct >= 75.0,
+            ">90% blocking must make the network unusable: {:?}",
+            pts[0].fetches
+        );
+    }
+
+    #[test]
+    fn latency_grows_with_blocking() {
+        let cfg = quick_cfg(vec![0.0, 0.75]);
+        let pts = evaluate(&cfg);
+        let base = &pts[0];
+        let blocked = &pts[1];
+        // §6.2.3: 70–90 % blocking ⇒ much higher latency and many
+        // timeouts.
+        let blocked_cost = if blocked.timeout_pct > 0.0 {
+            f64::INFINITY
+        } else {
+            blocked.avg_load_time_s
+        };
+        assert!(
+            blocked_cost > base.avg_load_time_s * 2.0,
+            "blocking must hurt: base {} vs blocked {} ({}% timeouts)",
+            base.avg_load_time_s,
+            blocked.avg_load_time_s,
+            blocked.timeout_pct
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests over the measurement suite's invariants.
+
+use i2p_data::PeerIp;
+use i2p_measure::censor::{blocking_rate, VictimView};
+use i2p_measure::fleet::{Fleet, Vantage, VantageMode};
+use i2p_measure::strategies::{score_strategies, synthetic_mix};
+use i2p_sim::world::{World, WorldConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn blocking_rate_is_bounded_and_monotone(victim_ips in proptest::collection::hash_set(any::<u32>(), 1..60),
+                                             bl1 in proptest::collection::hash_set(any::<u32>(), 0..60),
+                                             extra in proptest::collection::hash_set(any::<u32>(), 0..30)) {
+        let victim = VictimView {
+            known_ips: victim_ips.iter().map(|&v| PeerIp::V4(v)).collect(),
+        };
+        let small: HashSet<PeerIp> = bl1.iter().map(|&v| PeerIp::V4(v)).collect();
+        let mut big = small.clone();
+        big.extend(extra.iter().map(|&v| PeerIp::V4(v)));
+        let r_small = blocking_rate(&victim, &small);
+        let r_big = blocking_rate(&victim, &big);
+        prop_assert!((0.0..=100.0).contains(&r_small));
+        prop_assert!(r_big >= r_small, "supersets block at least as much");
+    }
+
+    #[test]
+    fn fleet_union_monotone_in_prefix(seed in 1u64..500, day in 0u64..5) {
+        let world = World::generate(WorldConfig { days: 6, scale: 0.01, seed });
+        let fleet = Fleet::alternating(6);
+        let mut prev = 0usize;
+        for k in 1..=6 {
+            let n = fleet.harvest_union_prefix(&world, day, k).peer_count();
+            prop_assert!(n >= prev, "union shrank: {prev} -> {n} at k={k}");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn sight_probability_valid_and_monotone_in_bandwidth(seed in any::<u64>()) {
+        let world = World::generate(WorldConfig { days: 2, scale: 0.005, seed: seed % 1000 + 1 });
+        for peer in world.peers.iter().take(50) {
+            let mut prev = 0.0f64;
+            for bw in [64u32, 128, 1024, 8192] {
+                let v = Vantage { mode: VantageMode::NonFloodfill, shared_kbps: bw, salt: 1 };
+                let p = v.sight_probability(peer);
+                prop_assert!((0.0..=1.0).contains(&p));
+                prop_assert!(p >= prev - 1e-12, "probability fell with bandwidth");
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_scores_bounded(seed in any::<u64>(), ntcp2 in 0.0f64..1.0, cover in 0.0f64..1.0) {
+        let mut rng = i2p_crypto::DetRng::new(seed);
+        let flows = synthetic_mix(300, 1000, ntcp2, cover, &mut rng);
+        for s in score_strategies(&flows) {
+            prop_assert!((0.0..=100.0).contains(&s.i2p_blocked_pct));
+            prop_assert!((0.0..=100.0).contains(&s.collateral_pct));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! XOR-metric k-bucket table (Kademlia).
+//!
+//! Used by routers to organise known floodfills and answer "which
+//! floodfills are closest to this routing key" — the primitive behind
+//! store replication, flooding and lookups (Hoang et al. §2.1.2, §4.2).
+
+use i2p_data::Hash256;
+
+/// Maximum entries per bucket (Kademlia's `k`).
+pub const K: usize = 20;
+
+/// A k-bucket routing table centred on a local key.
+#[derive(Clone, Debug)]
+pub struct KBucketTable {
+    local: Hash256,
+    /// 256 buckets; bucket `i` holds keys whose highest differing bit from
+    /// `local` is `i`.
+    buckets: Vec<Vec<Hash256>>,
+    len: usize,
+}
+
+impl KBucketTable {
+    /// Creates a table centred on `local`.
+    pub fn new(local: Hash256) -> Self {
+        KBucketTable { local, buckets: vec![Vec::new(); 256], len: 0 }
+    }
+
+    /// The centre key.
+    pub fn local(&self) -> &Hash256 {
+        &self.local
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `key`. Returns `false` if it was already present, equals
+    /// the local key, or its bucket is full (classic Kademlia drops the
+    /// newcomer; eviction pings are out of scope for the emulator).
+    pub fn insert(&mut self, key: Hash256) -> bool {
+        let Some(idx) = self.local.bucket_index(&key) else {
+            return false; // key == local
+        };
+        let bucket = &mut self.buckets[idx];
+        if bucket.contains(&key) {
+            return false;
+        }
+        if bucket.len() >= K {
+            return false;
+        }
+        bucket.push(key);
+        self.len += 1;
+        true
+    }
+
+    /// Removes `key` if present.
+    pub fn remove(&mut self, key: &Hash256) -> bool {
+        if let Some(idx) = self.local.bucket_index(key) {
+            let bucket = &mut self.buckets[idx];
+            if let Some(pos) = bucket.iter().position(|k| k == key) {
+                bucket.swap_remove(pos);
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &Hash256) -> bool {
+        self.local
+            .bucket_index(key)
+            .is_some_and(|i| self.buckets[i].contains(key))
+    }
+
+    /// The `n` stored keys closest (XOR) to `target`, ascending by
+    /// distance.
+    pub fn closest(&self, target: &Hash256, n: usize) -> Vec<Hash256> {
+        let mut all: Vec<Hash256> = self.buckets.iter().flatten().copied().collect();
+        all.sort_by_key(|k| k.distance(target));
+        all.truncate(n);
+        all
+    }
+
+    /// Iterates over all stored keys.
+    pub fn iter(&self) -> impl Iterator<Item = &Hash256> {
+        self.buckets.iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(i: u32) -> Hash256 {
+        Hash256::digest(&i.to_be_bytes())
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut t = KBucketTable::new(h(0));
+        assert!(t.insert(h(1)));
+        assert!(!t.insert(h(1)), "duplicate insert rejected");
+        assert!(t.contains(&h(1)));
+        assert!(!t.contains(&h(2)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn local_key_rejected() {
+        let mut t = KBucketTable::new(h(0));
+        assert!(!t.insert(h(0)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut t = KBucketTable::new(h(0));
+        t.insert(h(1));
+        assert!(t.remove(&h(1)));
+        assert!(!t.remove(&h(1)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn closest_returns_sorted_by_distance() {
+        let mut t = KBucketTable::new(h(0));
+        for i in 1..200 {
+            t.insert(h(i));
+        }
+        let target = h(12345);
+        let c = t.closest(&target, 10);
+        assert_eq!(c.len(), 10);
+        for w in c.windows(2) {
+            assert!(w[0].distance(&target) <= w[1].distance(&target));
+        }
+        // The closest of the returned set beats every non-returned key.
+        let best = c[0].distance(&target);
+        for k in t.iter() {
+            assert!(best <= k.distance(&target) || c.contains(k));
+        }
+    }
+
+    #[test]
+    fn bucket_capacity_enforced() {
+        // Keys sharing the same top bit pattern relative to local all land
+        // in one bucket; generate many and check the cap.
+        let local = Hash256::ZERO;
+        let mut t = KBucketTable::new(local);
+        let mut in_bucket_255 = 0;
+        let mut i = 0u32;
+        while in_bucket_255 < K + 10 && i < 10_000 {
+            let k = h(i);
+            if local.bucket_index(&k) == Some(255) {
+                in_bucket_255 += 1;
+                let inserted = t.insert(k);
+                if in_bucket_255 <= K {
+                    assert!(inserted);
+                } else {
+                    assert!(!inserted, "bucket must be capped at K={K}");
+                }
+            }
+            i += 1;
+        }
+        assert!(in_bucket_255 > K, "test needs enough colliding keys");
+    }
+
+    #[test]
+    fn closest_with_fewer_than_n() {
+        let mut t = KBucketTable::new(h(0));
+        t.insert(h(1));
+        t.insert(h(2));
+        assert_eq!(t.closest(&h(3), 10).len(), 2);
+    }
+}

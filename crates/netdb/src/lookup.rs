@@ -1,0 +1,171 @@
+//! Iterative Kademlia lookups.
+//!
+//! A requester that misses a record walks the keyspace: it queries the
+//! closest floodfills it knows; a miss returns *closer* floodfills
+//! (`DatabaseSearchReply`), which are queried next, until the record is
+//! found or the candidate set is exhausted (Hoang et al. §2.1.2's netDb
+//! query mechanics; the manipulation-resistance discussion in §4 is
+//! about abusing exactly this interface).
+//!
+//! The driver is transport-agnostic: callers feed in replies and pump
+//! [`IterativeLookup::next_queries`].
+
+use crate::routing_key::RoutingKey;
+use i2p_data::{Hash256, SimTime};
+use std::collections::HashSet;
+
+/// Parallelism of the iterative walk (Kademlia's α).
+pub const ALPHA: usize = 3;
+
+/// State of one iterative lookup.
+#[derive(Clone, Debug)]
+pub struct IterativeLookup {
+    /// The search key.
+    pub key: Hash256,
+    /// Known-but-unqueried candidates.
+    candidates: Vec<Hash256>,
+    /// Already queried.
+    queried: HashSet<Hash256>,
+    /// Whether the record was found.
+    found: bool,
+    /// Time the lookup started (for timeout accounting by the caller).
+    pub started: SimTime,
+    day: u64,
+}
+
+impl IterativeLookup {
+    /// Starts a lookup for `key` from an initial floodfill set.
+    pub fn new(key: Hash256, initial: Vec<Hash256>, now: SimTime) -> Self {
+        let mut l = IterativeLookup {
+            key,
+            candidates: initial,
+            queried: HashSet::new(),
+            found: false,
+            started: now,
+            day: now.day(),
+        };
+        l.sort_candidates();
+        l
+    }
+
+    fn sort_candidates(&mut self) {
+        let target = RoutingKey::for_day(&self.key, self.day);
+        self.candidates
+            .sort_by_key(|c| RoutingKey::for_day(c, self.day).distance(&target));
+        self.candidates.dedup();
+    }
+
+    /// The next up-to-α floodfills to query; marks them queried.
+    pub fn next_queries(&mut self) -> Vec<Hash256> {
+        if self.found {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        while out.len() < ALPHA {
+            let Some(pos) = self
+                .candidates
+                .iter()
+                .position(|c| !self.queried.contains(c))
+            else {
+                break;
+            };
+            let c = self.candidates.remove(pos);
+            self.queried.insert(c);
+            out.push(c);
+        }
+        out
+    }
+
+    /// Feeds a miss reply carrying closer floodfills.
+    pub fn on_closer(&mut self, closer: &[Hash256]) {
+        for c in closer {
+            if !self.queried.contains(c) && !self.candidates.contains(c) {
+                self.candidates.push(*c);
+            }
+        }
+        self.sort_candidates();
+    }
+
+    /// Marks the record found.
+    pub fn on_found(&mut self) {
+        self.found = true;
+    }
+
+    /// Whether the record was found.
+    pub fn is_found(&self) -> bool {
+        self.found
+    }
+
+    /// Whether the walk is exhausted (nothing left to query, not found).
+    pub fn is_exhausted(&self) -> bool {
+        !self.found && self.candidates.iter().all(|c| self.queried.contains(c))
+    }
+
+    /// Floodfills queried so far.
+    pub fn queried_count(&self) -> usize {
+        self.queried.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(i: u32) -> Hash256 {
+        Hash256::digest(&i.to_be_bytes())
+    }
+
+    #[test]
+    fn walks_alpha_at_a_time_without_repeats() {
+        let mut l = IterativeLookup::new(h(0), (1..10).map(h).collect(), SimTime(0));
+        let q1 = l.next_queries();
+        assert_eq!(q1.len(), ALPHA);
+        let q2 = l.next_queries();
+        assert_eq!(q2.len(), ALPHA);
+        let all: HashSet<_> = q1.iter().chain(&q2).collect();
+        assert_eq!(all.len(), 6, "no repeated queries");
+        assert_eq!(l.queried_count(), 6);
+    }
+
+    #[test]
+    fn closer_hints_jump_the_queue() {
+        let mut l = IterativeLookup::new(h(0), (1..5).map(h).collect(), SimTime(0));
+        let _ = l.next_queries();
+        // Learn a floodfill that is by construction the closest possible:
+        // the key itself (distance zero after same-day rotation).
+        l.on_closer(&[h(0)]);
+        let next = l.next_queries();
+        assert_eq!(next[0], h(0), "closest hint queried first");
+    }
+
+    #[test]
+    fn found_stops_the_walk() {
+        let mut l = IterativeLookup::new(h(0), (1..20).map(h).collect(), SimTime(0));
+        let _ = l.next_queries();
+        l.on_found();
+        assert!(l.is_found());
+        assert!(l.next_queries().is_empty());
+        assert!(!l.is_exhausted(), "found ≠ exhausted");
+    }
+
+    #[test]
+    fn exhaustion_detected() {
+        let mut l = IterativeLookup::new(h(0), vec![h(1), h(2)], SimTime(0));
+        assert!(!l.is_exhausted());
+        let q = l.next_queries();
+        assert_eq!(q.len(), 2);
+        assert!(l.is_exhausted());
+        // New hints revive the walk.
+        l.on_closer(&[h(3)]);
+        assert!(!l.is_exhausted());
+    }
+
+    #[test]
+    fn duplicate_hints_ignored() {
+        let mut l = IterativeLookup::new(h(0), vec![h(1)], SimTime(0));
+        let _ = l.next_queries();
+        l.on_closer(&[h(1), h(1), h(2), h(2)]);
+        let q = l.next_queries();
+        assert_eq!(q, vec![h(2)]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Daily routing keys.
+//!
+//! "These keys are calculated by a SHA256 hash function of a 32-byte
+//! binary search key which is concatenated with a UTC date string. As a
+//! result, these hash values change every day at UTC 00:00."
+//! (Hoang et al. §2.1.2.)
+
+use i2p_data::{Hash256, SimTime};
+
+/// A routing key: the netDb index position of a record *today*.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct RoutingKey(pub Hash256);
+
+impl RoutingKey {
+    /// Computes the routing key of `search_key` for the UTC day containing
+    /// `now`.
+    pub fn for_time(search_key: &Hash256, now: SimTime) -> Self {
+        Self::for_day(search_key, now.day())
+    }
+
+    /// Computes the routing key for a specific day index.
+    pub fn for_day(search_key: &Hash256, day: u64) -> Self {
+        let date = SimTime::from_day_ms(day, 0).date_string();
+        let mut material = Vec::with_capacity(32 + date.len());
+        material.extend_from_slice(&search_key.0);
+        material.extend_from_slice(date.as_bytes());
+        RoutingKey(Hash256::digest(&material))
+    }
+
+    /// XOR distance between this key and another key position.
+    pub fn distance(&self, other: &RoutingKey) -> i2p_data::hash::Distance {
+        self.0.distance(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use i2p_data::Duration;
+
+    #[test]
+    fn stable_within_a_day() {
+        let h = Hash256::digest(b"router");
+        let morning = SimTime::from_day_ms(5, 0);
+        let evening = morning + Duration::from_hours(23);
+        assert_eq!(RoutingKey::for_time(&h, morning), RoutingKey::for_time(&h, evening));
+    }
+
+    #[test]
+    fn rotates_at_utc_midnight() {
+        let h = Hash256::digest(b"router");
+        let before = SimTime::from_day_ms(5, 0) + Duration::from_hours(23);
+        let after = before + Duration::from_hours(1);
+        assert_eq!(after.day(), 6);
+        assert_ne!(RoutingKey::for_time(&h, before), RoutingKey::for_time(&h, after));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_positions() {
+        let a = RoutingKey::for_day(&Hash256::digest(b"a"), 0);
+        let b = RoutingKey::for_day(&Hash256::digest(b"b"), 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rotation_scrambles_neighbourhoods() {
+        // Closest-of-3 relation should not be preserved across rotation in
+        // general; check that at least one pair flips over a few days.
+        let keys: Vec<Hash256> = (0u8..8).map(|i| Hash256::digest(&[i])).collect();
+        let target = Hash256::digest(b"target");
+        let order_on = |day: u64| {
+            let t = RoutingKey::for_day(&target, day);
+            let mut v: Vec<usize> = (0..keys.len()).collect();
+            v.sort_by_key(|&i| RoutingKey::for_day(&keys[i], day).distance(&t));
+            v
+        };
+        assert_ne!(order_on(0), order_on(1));
+    }
+}

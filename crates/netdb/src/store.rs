@@ -1,0 +1,311 @@
+//! The local netDb store.
+//!
+//! Semantics the paper's methodology depends on (Hoang et al. §4.2–4.3):
+//!
+//! * **Flood gate** — a floodfill that receives a DSM with a record
+//!   *newer* than its stored copy floods it to its 3 closest floodfills.
+//! * **Replication** — direct publishes go to the 3 floodfills closest to
+//!   the record's *daily routing key*.
+//! * **Expiry** — floodfills expire stored RouterInfos after one hour;
+//!   this is why the monitoring fleet snapshots hourly.
+//! * **Persistence** — RouterInfos are written to disk and survive a
+//!   restart (modelled as the store simply retaining non-floodfill
+//!   entries until the daily cleanup).
+
+use crate::messages::NetDbPayload;
+use crate::routing_key::RoutingKey;
+use i2p_data::{Duration, Hash256, LeaseSet, RouterInfo, SimTime};
+use std::collections::HashMap;
+
+/// How many floodfills a record is published/flooded to (§4.2).
+pub const REPLICATION: usize = 3;
+/// Floodfill RouterInfo expiry (§4.3).
+pub const FLOODFILL_RI_EXPIRY: Duration = Duration::from_hours(1);
+/// Non-floodfill routers keep RouterInfos much longer (on disk).
+pub const ROUTER_RI_EXPIRY: Duration = Duration::from_hours(24);
+
+/// Store behaviour configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Whether this store belongs to a floodfill (shorter RI expiry,
+    /// participates in flooding).
+    pub floodfill: bool,
+}
+
+/// A stored record plus bookkeeping.
+#[derive(Clone, Debug)]
+pub struct StoredEntry {
+    /// The record.
+    pub payload: NetDbPayload,
+    /// When we received it.
+    pub received: SimTime,
+}
+
+/// The local netDb store of one router.
+#[derive(Clone, Debug, Default)]
+pub struct NetDbStore {
+    router_infos: HashMap<Hash256, StoredEntry>,
+    lease_sets: HashMap<Hash256, StoredEntry>,
+    floodfill: bool,
+}
+
+/// Result of offering a record to the store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// Stored; record was new or newer than the stored copy. Floodfills
+    /// should flood in this case (if the DSM wasn't itself a flood).
+    StoredNewer,
+    /// Ignored; we already hold an equal-or-newer copy.
+    Stale,
+    /// Rejected; the signature did not verify.
+    BadSignature,
+}
+
+impl NetDbStore {
+    /// Creates a store.
+    pub fn new(config: StoreConfig) -> Self {
+        NetDbStore {
+            router_infos: HashMap::new(),
+            lease_sets: HashMap::new(),
+            floodfill: config.floodfill,
+        }
+    }
+
+    /// Switches floodfill mode (manual opt-in/out from the router
+    /// console, §5.3.1).
+    pub fn set_floodfill(&mut self, on: bool) {
+        self.floodfill = on;
+    }
+
+    /// Whether this store uses floodfill expiry rules.
+    pub fn is_floodfill(&self) -> bool {
+        self.floodfill
+    }
+
+    /// Offers a record (from a DSM, a reseed answer, a tunnel build, …).
+    pub fn offer(&mut self, payload: NetDbPayload, now: SimTime) -> StoreOutcome {
+        if !payload.verify() {
+            return StoreOutcome::BadSignature;
+        }
+        let key = payload.search_key();
+        let map = match payload {
+            NetDbPayload::RouterInfo(_) => &mut self.router_infos,
+            NetDbPayload::LeaseSet(_) => &mut self.lease_sets,
+        };
+        match map.get(&key) {
+            Some(existing) if existing.payload.freshness() >= payload.freshness() => {
+                StoreOutcome::Stale
+            }
+            _ => {
+                map.insert(key, StoredEntry { payload, received: now });
+                StoreOutcome::StoredNewer
+            }
+        }
+    }
+
+    /// Looks up a RouterInfo.
+    pub fn router_info(&self, key: &Hash256) -> Option<&RouterInfo> {
+        match &self.router_infos.get(key)?.payload {
+            NetDbPayload::RouterInfo(ri) => Some(ri),
+            _ => None,
+        }
+    }
+
+    /// Looks up a LeaseSet.
+    pub fn lease_set(&self, key: &Hash256) -> Option<&LeaseSet> {
+        match &self.lease_sets.get(key)?.payload {
+            NetDbPayload::LeaseSet(ls) => Some(ls),
+            _ => None,
+        }
+    }
+
+    /// Number of stored RouterInfos.
+    pub fn router_count(&self) -> usize {
+        self.router_infos.len()
+    }
+
+    /// Number of stored LeaseSets.
+    pub fn leaseset_count(&self) -> usize {
+        self.lease_sets.len()
+    }
+
+    /// Iterates over stored RouterInfos.
+    pub fn router_infos(&self) -> impl Iterator<Item = &RouterInfo> {
+        self.router_infos.values().filter_map(|e| match &e.payload {
+            NetDbPayload::RouterInfo(ri) => Some(ri),
+            _ => None,
+        })
+    }
+
+    /// All router hashes currently stored.
+    pub fn router_hashes(&self) -> Vec<Hash256> {
+        self.router_infos.keys().copied().collect()
+    }
+
+    /// Expires old entries. Floodfills expire RouterInfos after 1 h,
+    /// others after 24 h; LeaseSets expire when their last lease ends.
+    /// Returns how many entries were dropped.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let ri_ttl = if self.floodfill { FLOODFILL_RI_EXPIRY } else { ROUTER_RI_EXPIRY };
+        let before = self.router_infos.len() + self.lease_sets.len();
+        self.router_infos
+            .retain(|_, e| now.since(e.received) < ri_ttl);
+        self.lease_sets.retain(|_, e| match &e.payload {
+            NetDbPayload::LeaseSet(ls) => !ls.is_expired(now),
+            _ => false,
+        });
+        before - (self.router_infos.len() + self.lease_sets.len())
+    }
+
+    /// Drops everything (the fleet's daily cleanup, §4.3).
+    pub fn clear(&mut self) {
+        self.router_infos.clear();
+        self.lease_sets.clear();
+    }
+
+    /// Among `floodfills`, the [`REPLICATION`] closest to `key`'s routing
+    /// key at `now` — the publish/flood target set (§4.2).
+    pub fn closest_floodfills(
+        key: &Hash256,
+        floodfills: &[Hash256],
+        now: SimTime,
+        n: usize,
+    ) -> Vec<Hash256> {
+        let target = RoutingKey::for_time(key, now);
+        let mut v: Vec<Hash256> = floodfills.to_vec();
+        v.sort_by_key(|f| RoutingKey::for_time(f, now).distance(&target));
+        v.truncate(n);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use i2p_crypto::DetRng;
+    use i2p_data::caps::{BandwidthClass, Caps};
+    use i2p_data::ident::RouterIdentity;
+
+    fn ri_at(rng: &mut DetRng, published: SimTime) -> (RouterInfo, i2p_data::ident::IdentitySecrets) {
+        let (ident, secrets) = RouterIdentity::generate(rng);
+        let ri = RouterInfo::new_signed(
+            ident,
+            &secrets,
+            published,
+            vec![],
+            Caps::standard(BandwidthClass::L),
+            "0.9.34",
+        );
+        (ri, secrets)
+    }
+
+    #[test]
+    fn offer_store_lookup() {
+        let mut store = NetDbStore::new(StoreConfig { floodfill: true });
+        let mut rng = DetRng::new(1);
+        let (ri, _) = ri_at(&mut rng, SimTime(5));
+        let h = ri.hash();
+        assert_eq!(
+            store.offer(NetDbPayload::RouterInfo(ri), SimTime(10)),
+            StoreOutcome::StoredNewer
+        );
+        assert!(store.router_info(&h).is_some());
+        assert_eq!(store.router_count(), 1);
+    }
+
+    #[test]
+    fn stale_offers_ignored_newer_accepted() {
+        let mut store = NetDbStore::new(StoreConfig { floodfill: true });
+        let mut rng = DetRng::new(2);
+        let (ident, secrets) = RouterIdentity::generate(&mut rng);
+        let old = RouterInfo::new_signed(
+            ident,
+            &secrets,
+            SimTime(100),
+            vec![],
+            Caps::standard(BandwidthClass::L),
+            "0.9.34",
+        );
+        let new = RouterInfo::new_signed(
+            ident,
+            &secrets,
+            SimTime(200),
+            vec![],
+            Caps::standard(BandwidthClass::L),
+            "0.9.34",
+        );
+        assert_eq!(
+            store.offer(NetDbPayload::RouterInfo(new.clone()), SimTime(0)),
+            StoreOutcome::StoredNewer
+        );
+        assert_eq!(
+            store.offer(NetDbPayload::RouterInfo(old), SimTime(0)),
+            StoreOutcome::Stale
+        );
+        assert_eq!(
+            store.offer(NetDbPayload::RouterInfo(new.clone()), SimTime(0)),
+            StoreOutcome::Stale,
+            "equal freshness is stale (>= rule)"
+        );
+        assert_eq!(store.router_info(&new.hash()).unwrap().published, SimTime(200));
+    }
+
+    #[test]
+    fn bad_signature_rejected() {
+        let mut store = NetDbStore::new(StoreConfig { floodfill: false });
+        let mut rng = DetRng::new(3);
+        let (mut ri, _) = ri_at(&mut rng, SimTime(5));
+        ri.signature[0] ^= 1;
+        assert_eq!(
+            store.offer(NetDbPayload::RouterInfo(ri), SimTime(0)),
+            StoreOutcome::BadSignature
+        );
+        assert_eq!(store.router_count(), 0);
+    }
+
+    #[test]
+    fn floodfill_expires_after_one_hour() {
+        let mut store = NetDbStore::new(StoreConfig { floodfill: true });
+        let mut rng = DetRng::new(4);
+        let (ri, _) = ri_at(&mut rng, SimTime(0));
+        let h = ri.hash();
+        store.offer(NetDbPayload::RouterInfo(ri), SimTime(0));
+        assert_eq!(store.expire(SimTime(Duration::from_mins(59).as_millis())), 0);
+        assert!(store.router_info(&h).is_some());
+        assert_eq!(store.expire(SimTime(Duration::from_mins(61).as_millis())), 1);
+        assert!(store.router_info(&h).is_none());
+    }
+
+    #[test]
+    fn non_floodfill_keeps_longer() {
+        let mut store = NetDbStore::new(StoreConfig { floodfill: false });
+        let mut rng = DetRng::new(5);
+        let (ri, _) = ri_at(&mut rng, SimTime(0));
+        store.offer(NetDbPayload::RouterInfo(ri), SimTime(0));
+        assert_eq!(store.expire(SimTime(Duration::from_hours(2).as_millis())), 0);
+        assert_eq!(store.expire(SimTime(Duration::from_hours(25).as_millis())), 1);
+    }
+
+    #[test]
+    fn clear_is_daily_cleanup() {
+        let mut store = NetDbStore::new(StoreConfig { floodfill: true });
+        let mut rng = DetRng::new(6);
+        for _ in 0..5 {
+            let (ri, _) = ri_at(&mut rng, SimTime(0));
+            store.offer(NetDbPayload::RouterInfo(ri), SimTime(0));
+        }
+        assert_eq!(store.router_count(), 5);
+        store.clear();
+        assert_eq!(store.router_count(), 0);
+    }
+
+    #[test]
+    fn closest_floodfills_uses_daily_keys() {
+        let ffs: Vec<Hash256> = (0u8..30).map(|i| Hash256::digest(&[i])).collect();
+        let key = Hash256::digest(b"record");
+        let day0 = NetDbStore::closest_floodfills(&key, &ffs, SimTime::from_day_ms(0, 0), 3);
+        let day1 = NetDbStore::closest_floodfills(&key, &ffs, SimTime::from_day_ms(1, 0), 3);
+        assert_eq!(day0.len(), 3);
+        assert_ne!(day0, day1, "rotation must re-shuffle the replica set");
+    }
+}

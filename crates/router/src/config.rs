@@ -1,0 +1,115 @@
+//! Router configuration.
+
+use i2p_data::BandwidthClass;
+use i2p_geoip::CountryId;
+
+/// Floodfill operating mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FloodfillMode {
+    /// Never a floodfill.
+    Disabled,
+    /// Manually forced on from the router console — this is how the
+    /// paper's unqualified K/L/M floodfills exist (§5.3.1).
+    Manual,
+    /// Automatic opt-in when the health checks pass (§2.1.2, §5.3.1).
+    Auto,
+}
+
+/// Network reachability situation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Reachability {
+    /// Publicly reachable; publishes IP + port.
+    Public,
+    /// Behind NAT/firewall; publishes introducers instead of an IP
+    /// (§5.1's ~14 K firewalled peers).
+    Firewalled,
+    /// Hidden mode: publishes neither IP nor introducers; relays for
+    /// nobody (§5.1's ~4 K hidden peers; default where press freedom
+    /// score > 50).
+    Hidden,
+}
+
+/// Static configuration of one router.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Shared bandwidth in KB/s (determines the published class).
+    pub shared_kbps: u32,
+    /// Floodfill mode.
+    pub floodfill: FloodfillMode,
+    /// Reachability.
+    pub reachability: Reachability,
+    /// Country of residence (drives hidden-by-default and geo analysis).
+    pub country: CountryId,
+    /// Maximum participating tunnels (the paper's fleet used 10 K, §4.1).
+    pub max_participating_tunnels: u32,
+    /// Software version advertised in the RouterInfo.
+    pub version: &'static str,
+}
+
+impl RouterConfig {
+    /// The I2P default-ish configuration: L-class, auto floodfill off.
+    pub fn default_client(country: CountryId) -> Self {
+        RouterConfig {
+            shared_kbps: 30,
+            floodfill: FloodfillMode::Disabled,
+            reachability: Reachability::Public,
+            country,
+            max_participating_tunnels: 2_000,
+            version: "0.9.34",
+        }
+    }
+
+    /// A high-profile monitoring router per the paper's §4.1 spec:
+    /// 8 MB/s shared bandwidth (the bloom-filter cap), 10 K tunnels.
+    pub fn monitoring(country: CountryId, floodfill: bool) -> Self {
+        RouterConfig {
+            shared_kbps: 8_192,
+            floodfill: if floodfill { FloodfillMode::Manual } else { FloodfillMode::Disabled },
+            reachability: Reachability::Public,
+            country,
+            max_participating_tunnels: 10_000,
+            version: "0.9.34",
+        }
+    }
+
+    /// The published bandwidth class.
+    pub fn bandwidth_class(&self) -> BandwidthClass {
+        BandwidthClass::for_shared_kbps(self.shared_kbps)
+    }
+
+    /// Whether the automatic floodfill health check can ever pass:
+    /// minimum 128 KB/s share requirement (§5.3.1).
+    pub fn meets_auto_floodfill_bandwidth(&self) -> bool {
+        self.shared_kbps >= 128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitoring_spec_matches_paper() {
+        let cfg = RouterConfig::monitoring(0, true);
+        assert_eq!(cfg.shared_kbps, 8_192);
+        assert_eq!(cfg.max_participating_tunnels, 10_000);
+        assert_eq!(cfg.bandwidth_class(), BandwidthClass::X);
+        assert_eq!(cfg.floodfill, FloodfillMode::Manual);
+    }
+
+    #[test]
+    fn default_client_is_l_class() {
+        let cfg = RouterConfig::default_client(0);
+        assert_eq!(cfg.bandwidth_class(), BandwidthClass::L);
+        assert!(!cfg.meets_auto_floodfill_bandwidth());
+    }
+
+    #[test]
+    fn auto_floodfill_threshold() {
+        let mut cfg = RouterConfig::default_client(0);
+        cfg.shared_kbps = 127;
+        assert!(!cfg.meets_auto_floodfill_bandwidth());
+        cfg.shared_kbps = 128;
+        assert!(cfg.meets_auto_floodfill_bandwidth());
+    }
+}

@@ -1,0 +1,286 @@
+//! Failure-injection tests: what happens when builds time out, peers
+//! are over capacity, garlic is misdelivered, or the censor sits on the
+//! wire mid-operation.
+
+use i2p_data::{Duration, Hash256};
+use i2p_router::config::{FloodfillMode, Reachability};
+use i2p_router::{RouterConfig, TestNet};
+use i2p_transport::BlockList;
+use i2p_tunnel::pool::TunnelDirection;
+
+fn cfg(kbps: u32, ff: bool) -> RouterConfig {
+    RouterConfig {
+        shared_kbps: kbps,
+        floodfill: if ff { FloodfillMode::Manual } else { FloodfillMode::Disabled },
+        reachability: Reachability::Public,
+        country: 0,
+        max_participating_tunnels: 1000,
+        version: "0.9.34",
+    }
+}
+
+fn boot(seed: u64, n: usize) -> TestNet {
+    let mut net = TestNet::new(seed);
+    for i in 0..n {
+        net.add_router(cfg(512, i < 4));
+    }
+    net.refresh_reseeds();
+    for i in 0..net.len() {
+        net.bootstrap(i);
+    }
+    for i in 0..net.len() {
+        let now = net.now();
+        let out = net.router_mut(i).publish_self(now);
+        net.dispatch(i, out);
+    }
+    net.run_for(Duration::from_secs(20));
+    net
+}
+
+#[test]
+fn build_timeout_penalises_hops_and_retries_avoid_them() {
+    let mut net = boot(1, 14);
+    let victim = net.add_router(cfg(128, false));
+    net.refresh_reseeds();
+    net.bootstrap(victim);
+    let victim_ip = net.source_ip(victim);
+
+    // Block everything: every build must fail.
+    let mut bl = BlockList::new(3650);
+    for i in 0..14 {
+        bl.observe(net.source_ip(i), 0);
+    }
+    net.fabric.set_blocklist(bl);
+    net.fabric.set_victim(victim_ip);
+
+    let mut rng = net.fork_rng(9);
+    let now = net.now();
+    let (msgs, id) = net
+        .router_mut(victim)
+        .start_tunnel_build(TunnelDirection::Outbound, 2, now, &mut rng)
+        .unwrap();
+    net.dispatch(victim, msgs);
+    net.run_for(Duration::from_secs(10));
+    assert!(net.router(victim).build_pending(id), "blocked build cannot complete");
+    let now = net.now();
+    net.router_mut(victim).fail_pending_build(id, now);
+    assert!(!net.router(victim).build_pending(id));
+    assert_eq!(net.router(victim).outbound.live_count(net.now()), 0);
+    assert_eq!(net.router(victim).outbound.builds_attempted, 1);
+    assert_eq!(net.router(victim).outbound.builds_succeeded, 0);
+
+    // The failed hops took a profile hit (judged at the current time —
+    // recent failure streaks gate selection; they decay after 10 min).
+    let t_check = net.now();
+    let weights_sum: u32 = net
+        .router(victim)
+        .hop_candidates_at(t_check)
+        .iter()
+        .map(|c| c.weight)
+        .sum();
+    // After 3 failures a peer would be excluded entirely; after one,
+    // weights merely shrink. Run two more failing builds and check the
+    // candidate pool collapses.
+    for _ in 0..8 {
+        let now = net.now();
+        let mut rng2 = net.fork_rng(now.as_millis());
+        if let Some((msgs, id2)) = net.router_mut(victim).start_tunnel_build(
+            TunnelDirection::Outbound,
+            2,
+            now,
+            &mut rng2,
+        ) {
+            net.dispatch(victim, msgs);
+            net.run_for(Duration::from_secs(10));
+            let now = net.now();
+            net.router_mut(victim).fail_pending_build(id2, now);
+        } else {
+            break;
+        }
+    }
+    let t_after = net.now();
+    let weights_after: u32 = net
+        .router(victim)
+        .hop_candidates_at(t_after)
+        .iter()
+        .map(|c| c.weight)
+        .sum();
+    assert!(
+        weights_after < weights_sum,
+        "repeated failures must reduce candidate weights ({weights_sum} -> {weights_after})"
+    );
+    // And once the failure streaks age out, the peers are forgiven.
+    let far_future = t_after + Duration::from_mins(30);
+    let weights_recovered: u32 = net
+        .router(victim)
+        .hop_candidates_at(far_future)
+        .iter()
+        .map(|c| c.weight)
+        .sum();
+    assert!(
+        weights_recovered > weights_after,
+        "failure streaks must decay ({weights_after} -> {weights_recovered})"
+    );
+}
+
+#[test]
+fn over_capacity_router_refuses_builds() {
+    let mut net = TestNet::new(2);
+    // One relay with zero tunnel capacity plus a builder and a helper.
+    let zero = net.add_router(RouterConfig {
+        max_participating_tunnels: 0,
+        ..cfg(8192, false)
+    });
+    let helper = net.add_router(cfg(8192, false));
+    let builder = net.add_router(cfg(512, false));
+    net.refresh_reseeds();
+    for i in 0..net.len() {
+        net.bootstrap(i);
+    }
+    let _ = (zero, helper);
+    let mut rng = net.fork_rng(3);
+    let now = net.now();
+    // 2-hop build must pick both relays; the zero-capacity one refuses.
+    let (msgs, id) = net
+        .router_mut(builder)
+        .start_tunnel_build(TunnelDirection::Outbound, 2, now, &mut rng)
+        .unwrap();
+    net.dispatch(builder, msgs);
+    net.run_for(Duration::from_secs(10));
+    // Build resolved (either refused -> failure recorded, or it never
+    // reached the refuser first — but with 2 candidates both are used).
+    assert!(!net.router(builder).build_pending(id));
+    assert_eq!(
+        net.router(builder).outbound.builds_succeeded,
+        0,
+        "a refusing hop must fail the build"
+    );
+}
+
+#[test]
+fn garlic_to_wrong_router_is_dropped_silently() {
+    let mut net = boot(3, 8);
+    let mut rng = net.fork_rng(5);
+    // Seal a garlic for router 1 but deliver it to router 2.
+    let key_of_1 = net.router(1).identity.enc_key;
+    let garlic = i2p_tunnel::garlic::GarlicMessage::seal(
+        &[i2p_tunnel::garlic::Clove {
+            instructions: i2p_tunnel::garlic::DeliveryInstructions::Local,
+            payload: b"misdelivered".to_vec(),
+        }],
+        key_of_1,
+        &mut rng,
+    );
+    let two = net.router(2).hash();
+    assert!(net.send(0, two, i2p_router::NetMsg::Garlic(garlic)));
+    let processed = net.run_for(Duration::from_secs(5));
+    assert!(processed >= 1);
+    assert!(net.router(2).app_events.is_empty(), "router 2 cannot open it");
+    assert!(net.router(1).app_events.is_empty(), "router 1 never got it");
+}
+
+#[test]
+fn unknown_tunnel_data_does_not_crash_or_leak() {
+    let mut net = boot(4, 8);
+    let mut rng = net.fork_rng(6);
+    let garlic = i2p_tunnel::garlic::GarlicMessage::seal(
+        &[],
+        net.router(3).identity.enc_key,
+        &mut rng,
+    );
+    let three = net.router(3).hash();
+    let ok = net.send(
+        0,
+        three,
+        i2p_router::NetMsg::TunnelData { tunnel_id: 0xDEAD_BEEF, deliver_to: None, garlic },
+    );
+    assert!(ok);
+    net.run_for(Duration::from_secs(5));
+    // Router 3 treats it as a garlic addressed to itself (it is), and
+    // opens an empty clove set: no events, no panic.
+    assert!(net.router(3).app_events.is_empty());
+}
+
+#[test]
+fn expired_participation_forwards_nothing() {
+    let mut net = boot(5, 10);
+    let builder = 6usize;
+    let mut rng = net.fork_rng(7);
+    let now = net.now();
+    let (msgs, id) = net
+        .router_mut(builder)
+        .start_tunnel_build(TunnelDirection::Outbound, 2, now, &mut rng)
+        .unwrap();
+    net.dispatch(builder, msgs);
+    net.run_for(Duration::from_secs(10));
+    assert_eq!(net.router(builder).outbound.live_count(net.now()), 1);
+
+    // Advance 11 minutes: tunnel + participations expire.
+    net.advance_to(net.now() + Duration::from_mins(11));
+    net.tick_all();
+    assert_eq!(net.router(builder).outbound.live_count(net.now()), 0);
+    for i in 0..net.len() {
+        assert!(
+            !net.router(i).participating.contains_key(&id),
+            "router {i} still holds expired participation"
+        );
+    }
+}
+
+#[test]
+fn hidden_routers_are_never_hop_candidates() {
+    let mut net = boot(6, 10);
+    let hidden = net.add_router(RouterConfig {
+        reachability: Reachability::Hidden,
+        ..cfg(8192, false)
+    });
+    net.refresh_reseeds();
+    // Everyone re-bootstraps and so learns the hidden router's RI.
+    for i in 0..net.len() {
+        net.bootstrap(i);
+    }
+    let hidden_hash = net.router(hidden).hash();
+    for i in 0..net.len() - 1 {
+        let cands = net.router(i).hop_candidates();
+        assert!(
+            cands.iter().all(|c| c.hash != hidden_hash),
+            "router {i} offered the hidden router as a hop"
+        );
+    }
+}
+
+#[test]
+fn reply_from_blocked_peer_is_dropped() {
+    // The victim can *send* to an unblocked floodfill, but if the censor
+    // later blocks that floodfill, its replies die at the chokepoint.
+    let mut net = boot(7, 10);
+    let victim = net.add_router(cfg(128, false));
+    net.refresh_reseeds();
+    net.bootstrap(victim);
+    let victim_ip = net.source_ip(victim);
+    let ff_ip = net.source_ip(0);
+    let ff_hash = net.router(0).hash();
+
+    // Lookup goes out while the peer is unblocked…
+    let ok = net.send(
+        victim,
+        ff_hash,
+        i2p_router::NetMsg::Lookup(i2p_netdb::messages::DatabaseLookup {
+            key: Hash256::digest(b"k"),
+            from: net.router(victim).hash(),
+            kind: i2p_netdb::messages::LookupKind::Exploratory,
+            exclude: vec![],
+            reply_via: None,
+        }),
+    );
+    assert!(ok);
+    // …but the block lands before the reply is sent.
+    let mut bl = BlockList::new(3650);
+    bl.observe(ff_ip, 0);
+    net.fabric.set_blocklist(bl);
+    net.fabric.set_victim(victim_ip);
+    let before = net.router(victim).store.router_count();
+    net.run_for(Duration::from_secs(10));
+    let after = net.router(victim).store.router_count();
+    assert_eq!(before, after, "the SearchReply was null-routed");
+}

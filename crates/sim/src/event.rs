@@ -1,0 +1,137 @@
+//! A small deterministic discrete-event queue.
+//!
+//! Generic over the event payload; ties broken by insertion sequence so
+//! runs are bit-for-bit reproducible.
+
+use i2p_data::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A time-ordered event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at the epoch.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::EPOCH }
+    }
+
+    /// Current time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at `at`. Events in the past are clamped to now
+    /// (they fire immediately but never rewind the clock).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq: self.seq, event }));
+    }
+
+    /// Pops the next event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        self.now = e.at;
+        Some((e.at, e.event))
+    }
+
+    /// Pops the next event only if it fires at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.heap.peek() {
+            Some(Reverse(e)) if e.at <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Pending event count.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), "c");
+        q.schedule(SimTime(10), "a");
+        q.schedule(SimTime(20), "b");
+        assert_eq!(q.pop(), Some((SimTime(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime(20), "b")));
+        assert_eq!(q.now(), SimTime(20));
+        assert_eq!(q.pop(), Some((SimTime(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn past_events_clamped() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), "x");
+        q.pop();
+        q.schedule(SimTime(3), "late");
+        let (at, _) = q.pop().unwrap();
+        assert_eq!(at, SimTime(10), "clock never rewinds");
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), "a");
+        q.schedule(SimTime(50), "b");
+        assert_eq!(q.pop_until(SimTime(20)), Some((SimTime(10), "a")));
+        assert_eq!(q.pop_until(SimTime(20)), None);
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,438 @@
+//! Per-peer world-model attributes.
+
+use crate::params;
+use i2p_crypto::DetRng;
+use i2p_data::{BandwidthClass, Hash256};
+use i2p_geoip::{AsId, CountryId, GeoDb};
+
+/// Reachability posture (drives Fig. 5/6 classification).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Reach {
+    /// Publishes IP, reachable.
+    Public,
+    /// No published IP; introducers listed (firewalled, §5.1).
+    Firewalled,
+    /// No published IP, no introducers (hidden, §5.1).
+    Hidden,
+    /// Flips between firewalled and hidden day to day (Fig. 6 overlap).
+    Switching,
+    /// Publishes an IP but is U-flagged.
+    UnreachablePublished,
+}
+
+/// IP-allocation behaviour (drives Fig. 8 / Fig. 12).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum IpBehavior {
+    /// One address for life.
+    Static,
+    /// Rotates within the home AS on the given interval (days).
+    Dynamic {
+        /// Mean days between address changes.
+        interval_days: f64,
+    },
+    /// VPN/Tor-routed: rotates across ASes (§5.3.2's multi-AS peers).
+    Roamer {
+        /// Mean days between exit changes.
+        interval_days: f64,
+    },
+}
+
+/// Which phase of its life a peer is in on a given day.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PresencePhase {
+    /// Before its join day or after its final day.
+    Gone,
+    /// In the continuous span: online every day.
+    Continuous,
+    /// In the intermittent tail: online with [`params::TAIL_PRESENCE_PROB`].
+    Intermittent,
+}
+
+/// One peer in the world model.
+#[derive(Clone, Debug)]
+pub struct PeerRecord {
+    /// Stable index in the world.
+    pub id: u32,
+    /// The cryptographic identity hash ("never changes", §5.1).
+    pub hash: Hash256,
+    /// True bandwidth class.
+    pub class: BandwidthClass,
+    /// Whether this peer runs as a floodfill.
+    pub floodfill: bool,
+    /// Reachability posture.
+    pub reach: Reach,
+    /// Country of residence.
+    pub country: CountryId,
+    /// Home autonomous system.
+    pub home_as: AsId,
+    /// Whether the peer also publishes IPv6.
+    pub has_ipv6: bool,
+    /// First day in the network (may predate the study epoch).
+    pub join_day: i64,
+    /// Length of the continuous-presence span (days).
+    pub cont_days: u32,
+    /// Length of the full intermittent span (days, ≥ cont_days).
+    pub int_days: u32,
+    /// IP-rotation behaviour.
+    pub ip_behavior: IpBehavior,
+    /// Tunnel-visibility weight w (observation model).
+    pub w: f64,
+    /// Publish-visibility weight u (observation model).
+    pub u: f64,
+    /// Per-peer deterministic seed for presence / IP / sighting draws.
+    pub seed: u64,
+}
+
+impl PeerRecord {
+    /// Samples a fresh peer joining on `join_day`.
+    pub fn sample(id: u32, join_day: i64, geo: &GeoDb, rng: &mut DetRng) -> Self {
+        let seed = rng.next_u64();
+        let mut r = rng.fork(seed);
+        let hash = Hash256::digest(&seed.to_be_bytes());
+
+        // Bandwidth class from the Fig. 9 shares.
+        let class = sample_class(&mut r);
+
+        // Floodfill probability per class (Table 1's floodfill column).
+        let ci = class_index(class);
+        let ff_prob = params::FLOODFILL_TOTAL_SHARE * params::FLOODFILL_CLASS_MIX[ci]
+            / params::CLASS_SHARES[ci];
+        let floodfill = r.chance(ff_prob.min(0.9));
+
+        // Geography.
+        let home_as = geo.sample_as(&mut r);
+        let country = geo.as_country(home_as);
+
+        // Reachability; censored countries bias toward hidden (§5.1).
+        let reach = if geo.is_censored(country) && r.chance(params::CENSORED_DEFAULT_HIDDEN_PROB)
+        {
+            if r.chance(0.6) {
+                Reach::Hidden
+            } else {
+                Reach::Switching
+            }
+        } else {
+            sample_reach(&mut r)
+        };
+
+        // Longevity: comonotonic Weibull draws so the intermittent span
+        // always dominates the continuous one (Fig. 7).
+        let uu = r.next_f64().max(1e-12);
+        let cont = quantile_weibull(uu, params::CHURN_CONT_SHAPE, params::CHURN_CONT_SCALE);
+        let int = quantile_weibull(uu, params::CHURN_INT_SHAPE, params::CHURN_INT_SCALE);
+        let cont_days = cont.ceil().max(1.0) as u32;
+        let int_days = int.ceil().max(cont_days as f64) as u32;
+
+        // IP behaviour (known-IP peers; unknown-IP peers still get one
+        // for their unpublished address).
+        let ip_behavior = sample_ip_behavior(&mut r);
+
+        // Observation-model weights, scaled by reachability.
+        let reach_factor = match reach {
+            Reach::Public | Reach::UnreachablePublished => params::REACH_TUNNEL_FACTOR_PUBLIC,
+            Reach::Firewalled => params::REACH_TUNNEL_FACTOR_FIREWALLED,
+            Reach::Switching => params::REACH_TUNNEL_FACTOR_FIREWALLED,
+            Reach::Hidden => params::REACH_TUNNEL_FACTOR_HIDDEN,
+        };
+        // Class also scales tunnel visibility (more bandwidth, more
+        // tunnels routed, §4.2).
+        let class_factor = (class.nominal_kbps() as f64 / 96.0).powf(0.35);
+        let w = r.gamma(params::W_SHAPE, 1.0 / params::W_SHAPE)
+            * reach_factor
+            * class_factor
+            * params::W_NORM;
+        let u = r.gamma(params::U_SHAPE, 1.0 / params::U_SHAPE);
+
+        let has_ipv6 = r.chance(params::IPV6_SHARE);
+
+        PeerRecord {
+            id,
+            hash,
+            class,
+            floodfill,
+            reach,
+            country,
+            home_as,
+            has_ipv6,
+            join_day,
+            cont_days,
+            int_days,
+            ip_behavior,
+            w,
+            u,
+            seed,
+        }
+    }
+
+    /// Final day (exclusive) of the peer's life.
+    pub fn end_day(&self) -> i64 {
+        self.join_day + self.int_days as i64
+    }
+
+    /// Presence phase on `day`.
+    pub fn phase(&self, day: i64) -> PresencePhase {
+        if day < self.join_day || day >= self.end_day() {
+            return PresencePhase::Gone;
+        }
+        if day < self.join_day + self.cont_days as i64 {
+            PresencePhase::Continuous
+        } else {
+            PresencePhase::Intermittent
+        }
+    }
+
+    /// Whether the peer is online on `day` (deterministic per peer/day).
+    pub fn online(&self, day: i64) -> bool {
+        match self.phase(day) {
+            PresencePhase::Gone => false,
+            PresencePhase::Continuous => true,
+            PresencePhase::Intermittent => {
+                self.day_draw(day, 0x0171) < params::TAIL_PRESENCE_PROB
+            }
+        }
+    }
+
+    /// Reachability posture on `day` (switching peers flip).
+    pub fn reach_on(&self, day: i64) -> Reach {
+        match self.reach {
+            Reach::Switching => {
+                if self.day_draw(day, 0x517c4) < params::SWITCH_HIDDEN_PROB {
+                    Reach::Hidden
+                } else {
+                    Reach::Firewalled
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Whether the peer publishes an IP on `day`.
+    pub fn publishes_ip(&self, day: i64) -> bool {
+        matches!(self.reach_on(day), Reach::Public | Reach::UnreachablePublished)
+    }
+
+    /// The IP-epoch index on `day`: how many rotations have happened
+    /// since join. Static peers stay in epoch 0.
+    pub fn ip_epoch(&self, day: i64) -> u32 {
+        let age = (day - self.join_day).max(0) as f64;
+        let interval = match self.ip_behavior {
+            IpBehavior::Static => return 0,
+            IpBehavior::Dynamic { interval_days } | IpBehavior::Roamer { interval_days } => {
+                interval_days.max(0.05)
+            }
+        };
+        (age / interval) as u32
+    }
+
+    /// The AS the peer appears from on `day`: home AS except for roamers,
+    /// which hop ASes every epoch (§5.3.2).
+    pub fn as_on(&self, day: i64, geo: &GeoDb) -> AsId {
+        match self.ip_behavior {
+            IpBehavior::Roamer { .. } => {
+                // Each roamer cycles through a bounded personal pool of
+                // VPN exits (the paper's extremes: 39 ASes, 25 countries).
+                let pool_size = 3 + (self.seed % 36) as u64;
+                let epoch = self.ip_epoch(day);
+                let mut slot_rng = DetRng::new(self.seed ^ 0xA5A5 ^ epoch as u64);
+                let slot = slot_rng.below(pool_size);
+                let mut r = DetRng::new(self.seed ^ 0xE417 ^ slot);
+                geo.sample_as(&mut r)
+            }
+            _ => self.home_as,
+        }
+    }
+
+    /// The IPv4 address on `day` (changes with the IP epoch).
+    pub fn ipv4_on(&self, day: i64, geo: &GeoDb) -> i2p_data::PeerIp {
+        let epoch = self.ip_epoch(day);
+        let asn = self.as_on(day, geo);
+        let mut r = DetRng::new(self.seed ^ 0x1F44 ^ ((epoch as u64) << 32));
+        geo.sample_ipv4(asn, &mut r)
+    }
+
+    /// The IPv6 address on `day`, if the peer has one.
+    pub fn ipv6_on(&self, day: i64, geo: &GeoDb) -> Option<i2p_data::PeerIp> {
+        if !self.has_ipv6 {
+            return None;
+        }
+        let epoch = self.ip_epoch(day);
+        let asn = self.as_on(day, geo);
+        let mut r = DetRng::new(self.seed ^ 0x1F66 ^ ((epoch as u64) << 32));
+        Some(geo.sample_ipv6(asn, &mut r))
+    }
+
+    /// A deterministic uniform draw in [0,1) keyed by (peer, day, salt).
+    pub fn day_draw(&self, day: i64, salt: u64) -> f64 {
+        let mut r = DetRng::new(self.seed ^ salt.wrapping_mul(0x9E3779B97F4A7C15) ^ (day as u64) << 20);
+        r.next_f64()
+    }
+}
+
+fn class_index(c: BandwidthClass) -> usize {
+    BandwidthClass::ALL.iter().position(|x| *x == c).unwrap()
+}
+
+fn sample_class(r: &mut DetRng) -> BandwidthClass {
+    let x = r.next_f64();
+    let mut acc = 0.0;
+    for (i, share) in params::CLASS_SHARES.iter().enumerate() {
+        acc += share;
+        if x < acc {
+            return BandwidthClass::ALL[i];
+        }
+    }
+    BandwidthClass::X
+}
+
+fn sample_reach(r: &mut DetRng) -> Reach {
+    let x = r.next_f64();
+    let mut acc = params::PUBLIC_SHARE;
+    if x < acc {
+        return Reach::Public;
+    }
+    acc += params::FIREWALLED_ONLY_SHARE;
+    if x < acc {
+        return Reach::Firewalled;
+    }
+    acc += params::HIDDEN_ONLY_SHARE;
+    if x < acc {
+        return Reach::Hidden;
+    }
+    acc += params::SWITCHING_SHARE;
+    if x < acc {
+        return Reach::Switching;
+    }
+    Reach::UnreachablePublished
+}
+
+fn sample_ip_behavior(r: &mut DetRng) -> IpBehavior {
+    let x = r.next_f64();
+    if x < params::IP_STATIC_SHARE {
+        return IpBehavior::Static;
+    }
+    if x < params::IP_STATIC_SHARE + params::IP_DYNAMIC_SHARE {
+        return IpBehavior::Dynamic {
+            interval_days: r.lognormal(params::IP_DYNAMIC_MU, params::IP_DYNAMIC_SIGMA),
+        };
+    }
+    if x < params::IP_STATIC_SHARE + params::IP_DYNAMIC_SHARE + params::IP_FAST_DYNAMIC_SHARE {
+        return IpBehavior::Dynamic {
+            interval_days: r.lognormal(params::IP_FAST_MU, params::IP_FAST_SIGMA),
+        };
+    }
+    IpBehavior::Roamer {
+        interval_days: r.lognormal(params::IP_ROAMER_MU, params::IP_ROAMER_SIGMA),
+    }
+}
+
+/// Weibull quantile: `λ·(−ln(1−u))^(1/k)`.
+fn quantile_weibull(u: f64, shape: f64, scale: f64) -> f64 {
+    scale * (-(1.0 - u).ln()).powf(1.0 / shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_many(n: usize) -> (Vec<PeerRecord>, GeoDb) {
+        let geo = GeoDb::new();
+        let mut rng = DetRng::new(42);
+        let peers = (0..n)
+            .map(|i| PeerRecord::sample(i as u32, 0, &geo, &mut rng))
+            .collect();
+        (peers, geo)
+    }
+
+    #[test]
+    fn continuous_then_intermittent_then_gone() {
+        let (peers, _) = sample_many(50);
+        for p in &peers {
+            assert!(p.int_days >= p.cont_days);
+            assert_eq!(p.phase(-1), PresencePhase::Gone);
+            assert_eq!(p.phase(0), PresencePhase::Continuous);
+            assert!(p.online(0));
+            assert_eq!(p.phase(p.end_day()), PresencePhase::Gone);
+            assert!(!p.online(p.end_day()));
+        }
+    }
+
+    #[test]
+    fn class_distribution_matches_shares() {
+        let (peers, _) = sample_many(20_000);
+        let l = peers.iter().filter(|p| p.class == BandwidthClass::L).count() as f64 / 20_000.0;
+        let n = peers.iter().filter(|p| p.class == BandwidthClass::N).count() as f64 / 20_000.0;
+        assert!((l - 0.587).abs() < 0.02, "L share {l}");
+        assert!((n - 0.257).abs() < 0.02, "N share {n}");
+    }
+
+    #[test]
+    fn floodfill_group_is_n_dominant() {
+        // Table 1: within floodfills, N dominates and L comes second.
+        let (peers, _) = sample_many(40_000);
+        let ffs: Vec<_> = peers.iter().filter(|p| p.floodfill).collect();
+        let share = ffs.len() as f64 / peers.len() as f64;
+        assert!((share - 0.088).abs() < 0.015, "floodfill share {share}");
+        let n = ffs.iter().filter(|p| p.class == BandwidthClass::N).count();
+        let l = ffs.iter().filter(|p| p.class == BandwidthClass::L).count();
+        assert!(n > l, "N-class floodfills ({n}) must outnumber L ({l})");
+        let qualified = ffs.iter().filter(|p| p.class.floodfill_qualified()).count() as f64
+            / ffs.len() as f64;
+        assert!((qualified - 0.71).abs() < 0.08, "qualified floodfill share {qualified}");
+    }
+
+    #[test]
+    fn ip_epochs_monotone_and_static_fixed() {
+        let (peers, geo) = sample_many(200);
+        for p in &peers {
+            let e0 = p.ip_epoch(p.join_day);
+            let e1 = p.ip_epoch(p.join_day + 30);
+            assert!(e1 >= e0);
+            if matches!(p.ip_behavior, IpBehavior::Static) {
+                assert_eq!(p.ipv4_on(0, &geo), p.ipv4_on(60, &geo));
+            }
+        }
+    }
+
+    #[test]
+    fn roamers_change_as() {
+        let (peers, geo) = sample_many(20_000);
+        let roamer = peers
+            .iter()
+            .find(|p| matches!(p.ip_behavior, IpBehavior::Roamer { .. }))
+            .expect("roamers exist at 1.5%");
+        let ases: std::collections::HashSet<_> =
+            (0..60).map(|d| roamer.as_on(d, &geo)).collect();
+        assert!(ases.len() > 1, "roamer must span multiple ASes");
+        // Non-roamers never leave their home AS.
+        let stayer = peers
+            .iter()
+            .find(|p| matches!(p.ip_behavior, IpBehavior::Dynamic { .. }))
+            .unwrap();
+        assert!((0..60).all(|d| stayer.as_on(d, &geo) == stayer.home_as));
+    }
+
+    #[test]
+    fn switching_peers_flip_posture() {
+        let (peers, _) = sample_many(20_000);
+        let sw = peers
+            .iter()
+            .find(|p| p.reach == Reach::Switching)
+            .expect("switching peers exist");
+        let postures: std::collections::HashSet<_> =
+            (0..40).map(|d| format!("{:?}", sw.reach_on(d))).collect();
+        assert_eq!(postures.len(), 2, "switching peer shows both postures");
+        assert!(!sw.publishes_ip(0));
+    }
+
+    #[test]
+    fn determinism() {
+        let geo = GeoDb::new();
+        let mut r1 = DetRng::new(7);
+        let mut r2 = DetRng::new(7);
+        let a = PeerRecord::sample(0, 0, &geo, &mut r1);
+        let b = PeerRecord::sample(0, 0, &geo, &mut r2);
+        assert_eq!(a.hash, b.hash);
+        assert_eq!(a.ipv4_on(5, &geo), b.ipv4_on(5, &geo));
+        assert_eq!(a.online(10), b.online(10));
+    }
+}

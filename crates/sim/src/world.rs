@@ -1,0 +1,160 @@
+//! The world: a steady-state population of peers over the study window.
+
+use crate::params;
+use crate::peer::PeerRecord;
+use i2p_crypto::DetRng;
+use i2p_geoip::GeoDb;
+
+/// World generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct WorldConfig {
+    /// Study length in days (day 0 .. days).
+    pub days: u64,
+    /// Population scale factor: 1.0 reproduces the paper's ≈32 K daily
+    /// peers; tests use small scales for speed.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl WorldConfig {
+    /// The paper's configuration: 89 days at full scale.
+    pub fn paper(seed: u64) -> Self {
+        WorldConfig { days: params::STUDY_DAYS, scale: 1.0, seed }
+    }
+
+    /// A reduced configuration for fast tests.
+    pub fn small(seed: u64) -> Self {
+        WorldConfig { days: 30, scale: 0.03, seed }
+    }
+}
+
+/// The generated world.
+pub struct World {
+    /// All peers that ever existed in the simulated span (including
+    /// warm-up joiners).
+    pub peers: Vec<PeerRecord>,
+    /// The geo database used for attribute assignment and lookups.
+    pub geo: GeoDb,
+    /// Generation parameters.
+    pub config: WorldConfig,
+}
+
+impl World {
+    /// Generates the world: warm-up arrivals from day −120 so that day 0
+    /// is in steady state, then arrivals through the study window.
+    pub fn generate(config: WorldConfig) -> Self {
+        let geo = GeoDb::new();
+        let mut rng = DetRng::new(config.seed).fork(0x0f0f);
+        let mut peers = Vec::new();
+        let rate = params::arrivals_per_day() * config.scale;
+        let first_day = -(params::WARMUP_DAYS as i64);
+        let last_day = config.days as i64;
+        let mut id = 0u32;
+        for day in first_day..last_day {
+            let n = rng.poisson(rate);
+            for _ in 0..n {
+                peers.push(PeerRecord::sample(id, day, &geo, &mut rng));
+                id += 1;
+            }
+        }
+        World { peers, geo, config }
+    }
+
+    /// Total peers ever generated.
+    pub fn total_peers(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Peers online on `day` (0-based study day).
+    pub fn online_peers(&self, day: u64) -> impl Iterator<Item = &PeerRecord> {
+        let d = day as i64;
+        self.peers.iter().filter(move |p| p.online(d))
+    }
+
+    /// Count of peers online on `day`.
+    pub fn online_count(&self, day: u64) -> usize {
+        self.online_peers(day).count()
+    }
+
+    /// Peers that are online on at least one day in `[0, days)` — the
+    /// population any measurement could ever observe.
+    pub fn ever_online(&self) -> impl Iterator<Item = &PeerRecord> {
+        let days = self.config.days as i64;
+        self.peers.iter().filter(move |p| {
+            let lo = p.join_day.max(0);
+            let hi = p.end_day().min(days);
+            (lo..hi).any(|d| p.online(d))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peer::Reach;
+
+    fn small_world() -> World {
+        World::generate(WorldConfig { days: 30, scale: 0.05, seed: 1 })
+    }
+
+    #[test]
+    fn daily_population_is_steady_at_scaled_target() {
+        let w = small_world();
+        let target = params::TARGET_DAILY_PEERS * 0.05;
+        for day in [0u64, 10, 20, 29] {
+            let n = w.online_count(day) as f64;
+            assert!(
+                (n - target).abs() / target < 0.15,
+                "day {day}: population {n} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_ip_share_matches_paper() {
+        // ≈15.4 K of 32 K daily peers have no published IP (Fig. 6).
+        let w = small_world();
+        let day = 15i64;
+        let online: Vec<_> = w.online_peers(15).collect();
+        let unknown = online.iter().filter(|p| !p.publishes_ip(day)).count() as f64;
+        let share = unknown / online.len() as f64;
+        assert!((share - 0.48).abs() < 0.06, "unknown-IP share {share}");
+    }
+
+    #[test]
+    fn firewalled_exceed_hidden() {
+        let w = small_world();
+        let day = 10i64;
+        let fw = w
+            .online_peers(10)
+            .filter(|p| p.reach_on(day) == Reach::Firewalled)
+            .count();
+        let hidden = w
+            .online_peers(10)
+            .filter(|p| p.reach_on(day) == Reach::Hidden)
+            .count();
+        assert!(fw > hidden * 2, "firewalled {fw} vs hidden {hidden} (paper: 14K vs 4K)");
+    }
+
+    #[test]
+    fn determinism_across_generations() {
+        let a = World::generate(WorldConfig { days: 10, scale: 0.02, seed: 9 });
+        let b = World::generate(WorldConfig { days: 10, scale: 0.02, seed: 9 });
+        assert_eq!(a.total_peers(), b.total_peers());
+        assert_eq!(a.online_count(5), b.online_count(5));
+        assert_eq!(a.peers[0].hash, b.peers[0].hash);
+        let c = World::generate(WorldConfig { days: 10, scale: 0.02, seed: 10 });
+        assert_ne!(a.peers[0].hash, c.peers[0].hash);
+    }
+
+    #[test]
+    fn ever_online_exceeds_daily() {
+        let w = small_world();
+        let daily = w.online_count(15);
+        let ever = w.ever_online().count();
+        // Churn means the cumulative population dwarfs the daily one
+        // (§5.2: 139 K known-IP uniques vs ~17 K daily known-IP).
+        assert!(ever as f64 > daily as f64 * 2.0, "ever {ever} vs daily {daily}");
+    }
+}

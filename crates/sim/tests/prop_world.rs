@@ -1,0 +1,85 @@
+//! Property tests over the world model's invariants.
+
+use i2p_crypto::DetRng;
+use i2p_geoip::GeoDb;
+use i2p_sim::peer::{PeerRecord, PresencePhase, Reach};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn peer_lifecycle_invariants(seed in any::<u64>(), join in -200i64..200) {
+        let geo = GeoDb::new();
+        let mut rng = DetRng::new(seed);
+        let p = PeerRecord::sample(0, join, &geo, &mut rng);
+
+        // Spans are ordered and positive.
+        prop_assert!(p.cont_days >= 1);
+        prop_assert!(p.int_days >= p.cont_days);
+        prop_assert_eq!(p.end_day(), join + p.int_days as i64);
+
+        // Phase function is consistent with online().
+        for d in (join - 2)..(p.end_day() + 2) {
+            match p.phase(d) {
+                PresencePhase::Gone => prop_assert!(!p.online(d)),
+                PresencePhase::Continuous => prop_assert!(p.online(d)),
+                PresencePhase::Intermittent => {} // probabilistic
+            }
+        }
+
+        // The continuous prefix really is continuous.
+        for d in join..(join + p.cont_days as i64) {
+            prop_assert!(p.online(d));
+        }
+    }
+
+    #[test]
+    fn ip_assignment_invariants(seed in any::<u64>(), d1 in 0i64..90, d2 in 0i64..90) {
+        let geo = GeoDb::new();
+        let mut rng = DetRng::new(seed);
+        let p = PeerRecord::sample(0, 0, &geo, &mut rng);
+
+        // Same day, same address; same epoch, same address.
+        prop_assert_eq!(p.ipv4_on(d1, &geo), p.ipv4_on(d1, &geo));
+        if p.ip_epoch(d1) == p.ip_epoch(d2) {
+            prop_assert_eq!(p.ipv4_on(d1, &geo), p.ipv4_on(d2, &geo));
+            prop_assert_eq!(p.as_on(d1, &geo), p.as_on(d2, &geo));
+        }
+
+        // Epochs are monotone in time.
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(p.ip_epoch(lo) <= p.ip_epoch(hi));
+
+        // Every assigned IPv4 resolves in the geo database, to the
+        // peer's AS-of-day.
+        let ip = p.ipv4_on(d1, &geo);
+        let loc = geo.lookup(ip).expect("assigned IPs resolve");
+        prop_assert_eq!(loc.asn_id, p.as_on(d1, &geo));
+    }
+
+    #[test]
+    fn reachability_daily_posture_is_stable_and_legal(seed in any::<u64>(), day in 0i64..90) {
+        let geo = GeoDb::new();
+        let mut rng = DetRng::new(seed);
+        let p = PeerRecord::sample(0, 0, &geo, &mut rng);
+        let r1 = p.reach_on(day);
+        let r2 = p.reach_on(day);
+        prop_assert_eq!(r1, r2, "posture is deterministic per day");
+        // reach_on never returns the meta-state.
+        prop_assert_ne!(r1, Reach::Switching);
+        // publishes_ip agrees with the posture.
+        let publishes = matches!(r1, Reach::Public | Reach::UnreachablePublished);
+        prop_assert_eq!(p.publishes_ip(day), publishes);
+    }
+
+    #[test]
+    fn visibility_weights_nonnegative(seed in any::<u64>()) {
+        let geo = GeoDb::new();
+        let mut rng = DetRng::new(seed);
+        let p = PeerRecord::sample(0, 0, &geo, &mut rng);
+        prop_assert!(p.w >= 0.0);
+        prop_assert!(p.u >= 0.0);
+        prop_assert!(p.w.is_finite() && p.u.is_finite());
+    }
+}

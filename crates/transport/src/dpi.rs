@@ -1,0 +1,81 @@
+//! Deep-packet-inspection flow classifier.
+//!
+//! Hoang et al. §2.2.2: "flow analysis can still be used to fingerprint
+//! I2P traffic in the current design because the first four handshake
+//! messages between I2P routers can be detected due to their fixed
+//! lengths of 288, 304, 448, and 48 bytes". This module is that
+//! middlebox: given the observed sizes of a flow's first messages, it
+//! classifies the flow. The router crate's NTCP2-style padding extension
+//! (the mitigation the paper says is in development) defeats it, which
+//! the tests demonstrate.
+
+use crate::handshake::HANDSHAKE_SIZES;
+
+/// Classifier verdict for a flow prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowVerdict {
+    /// Matches the NTCP handshake signature — I2P detected.
+    I2pNtcp,
+    /// Fewer than four messages seen and all consistent so far.
+    NeedMore,
+    /// Not I2P NTCP.
+    Unknown,
+}
+
+/// Classifies a flow from the sizes of its first messages (client→server
+/// and server→client interleaved, as a middlebox would see them).
+pub fn classify_flow(message_sizes: &[usize]) -> FlowVerdict {
+    if message_sizes.len() < HANDSHAKE_SIZES.len() {
+        return if message_sizes
+            .iter()
+            .zip(HANDSHAKE_SIZES.iter())
+            .all(|(a, b)| a == b)
+        {
+            FlowVerdict::NeedMore
+        } else {
+            FlowVerdict::Unknown
+        };
+    }
+    if message_sizes[..4] == HANDSHAKE_SIZES {
+        FlowVerdict::I2pNtcp
+    } else {
+        FlowVerdict::Unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handshake::run_handshake;
+    use i2p_crypto::DetRng;
+    use i2p_data::Hash256;
+
+    #[test]
+    fn detects_real_handshake() {
+        let mut rng = DetRng::new(1);
+        let (_, _, sizes) =
+            run_handshake(Hash256::digest(b"a"), Hash256::digest(b"b"), &mut rng).unwrap();
+        assert_eq!(classify_flow(&sizes), FlowVerdict::I2pNtcp);
+    }
+
+    #[test]
+    fn partial_flow_needs_more() {
+        assert_eq!(classify_flow(&[288, 304]), FlowVerdict::NeedMore);
+        assert_eq!(classify_flow(&[]), FlowVerdict::NeedMore);
+    }
+
+    #[test]
+    fn https_like_flow_unknown() {
+        assert_eq!(classify_flow(&[517, 1400, 1400, 51]), FlowVerdict::Unknown);
+        assert_eq!(classify_flow(&[288, 304, 448, 49]), FlowVerdict::Unknown);
+        assert_eq!(classify_flow(&[289]), FlowVerdict::Unknown);
+    }
+
+    #[test]
+    fn padded_handshake_evades() {
+        // NTCP2-style random padding (the §2.2.2 mitigation): any size
+        // perturbation breaks the signature.
+        let padded = [288 + 13, 304 + 7, 448 + 2, 48 + 21];
+        assert_eq!(classify_flow(&padded), FlowVerdict::Unknown);
+    }
+}

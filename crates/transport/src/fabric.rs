@@ -1,0 +1,273 @@
+//! The simulated internet fabric.
+//!
+//! A passive (event-free) model of the IP substrate between routers:
+//! endpoint registration, deterministic per-pair latency, and the
+//! censor's null-routing chokepoint. The discrete-event engine in
+//! `i2p-sim` (and the usability evaluator in `i2p-measure`) call
+//! [`Fabric::send`] and schedule the returned delivery times themselves.
+//!
+//! Null-routing follows Hoang et al. §6.2.3: "we configure our upstream
+//! router to silently drop all packets that contain peer IP addresses
+//! that we observed from the I2P network" — a blocked send produces no
+//! error, only silence, so the initiator burns its connect timeout.
+
+use crate::blocklist::BlockList;
+use i2p_data::{Duration, Hash256, PeerIp, SimTime};
+use std::collections::HashMap;
+
+/// A network endpoint: IP and port.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Endpoint {
+    /// The IP address.
+    pub ip: PeerIp,
+    /// The port (I2P's arbitrary 9000–31000 range).
+    pub port: u16,
+}
+
+/// Latency characteristics of a path.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkProfile {
+    /// One-way base latency.
+    pub base: Duration,
+    /// Maximum additional deterministic jitter.
+    pub jitter: Duration,
+}
+
+impl LinkProfile {
+    /// Default internet-like profile: 10–160 ms one way.
+    pub const DEFAULT: LinkProfile =
+        LinkProfile { base: Duration::from_millis(10), jitter: Duration::from_millis(150) };
+}
+
+/// Outcome of a send attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// Will arrive at the destination router at the given instant.
+    Delivered {
+        /// Arrival time.
+        at: SimTime,
+        /// The router listening on the destination endpoint.
+        to: Hash256,
+    },
+    /// Silently dropped by the censor's null route (no error signal!).
+    NullRouted,
+    /// Nothing listens on the destination endpoint (peer gone/behind NAT).
+    NoListener,
+}
+
+/// Traffic counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Bytes delivered.
+    pub delivered_bytes: u64,
+    /// Messages null-routed by the blocklist.
+    pub null_routed: u64,
+    /// Messages to unregistered endpoints.
+    pub no_listener: u64,
+}
+
+/// The simulated IP substrate.
+#[derive(Debug, Default)]
+pub struct Fabric {
+    listeners: HashMap<Endpoint, Hash256>,
+    blocklist: Option<BlockList>,
+    /// When set, the blocklist only affects traffic to/from this IP —
+    /// the censor sits at the *victim's* upstream (§6.2.3), not in the
+    /// middle of the whole internet.
+    victim: Option<PeerIp>,
+    profile: Option<LinkProfile>,
+    stats: FabricStats,
+}
+
+impl Fabric {
+    /// An empty fabric with the default latency profile.
+    pub fn new() -> Self {
+        Fabric { profile: Some(LinkProfile::DEFAULT), ..Default::default() }
+    }
+
+    /// Installs the censor's blocklist at the victim's upstream.
+    pub fn set_blocklist(&mut self, bl: BlockList) {
+        self.blocklist = Some(bl);
+    }
+
+    /// Scopes the blocklist to one victim IP: only packets to or from
+    /// this address pass the censor's chokepoint. Without a victim scope
+    /// the blocklist applies to every destination (nation-wide view).
+    pub fn set_victim(&mut self, victim: PeerIp) {
+        self.victim = Some(victim);
+    }
+
+    /// Removes the blocklist.
+    pub fn clear_blocklist(&mut self) {
+        self.blocklist = None;
+    }
+
+    /// Mutable access to the installed blocklist.
+    pub fn blocklist_mut(&mut self) -> Option<&mut BlockList> {
+        self.blocklist.as_mut()
+    }
+
+    /// Registers `router` as listening on `ep`. Returns the previous
+    /// listener, if any (IP churn means endpoints get reused).
+    pub fn register(&mut self, ep: Endpoint, router: Hash256) -> Option<Hash256> {
+        self.listeners.insert(ep, router)
+    }
+
+    /// Deregisters an endpoint.
+    pub fn deregister(&mut self, ep: &Endpoint) -> Option<Hash256> {
+        self.listeners.remove(ep)
+    }
+
+    /// Number of live endpoints.
+    pub fn listener_count(&self) -> usize {
+        self.listeners.len()
+    }
+
+    /// Deterministic one-way latency between two IPs.
+    pub fn latency(&self, from: PeerIp, to: PeerIp) -> Duration {
+        let p = self.profile.unwrap_or(LinkProfile::DEFAULT);
+        // Symmetric deterministic jitter from the unordered pair digest.
+        let (a, b) = (from.digest64(), to.digest64());
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let mix = lo
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(hi)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let jitter_ms = if p.jitter.as_millis() == 0 { 0 } else { mix % p.jitter.as_millis() };
+        p.base + Duration::from_millis(jitter_ms)
+    }
+
+    /// Attempts to send `size` bytes from `from_ip` to `to` at `now`.
+    ///
+    /// Blocking applies symmetrically to the *remote* peer's address, as
+    /// a censor at the sender's upstream sees both directions: sends
+    /// toward a blocked IP are dropped, and (for modelling replies)
+    /// [`Fabric::reply_blocked`] reports whether return traffic from a
+    /// blocked IP would be dropped.
+    pub fn send(&mut self, from_ip: PeerIp, to: Endpoint, size: usize, now: SimTime) -> DeliveryOutcome {
+        let day = now.day();
+        if let Some(bl) = &self.blocklist {
+            let at_chokepoint = match self.victim {
+                // Censor at the victim's upstream: only the victim's own
+                // traffic traverses the filter.
+                Some(v) => from_ip == v || to.ip == v,
+                None => true,
+            };
+            let hits = bl.is_blocked(&to.ip, day) || bl.is_blocked(&from_ip, day);
+            if at_chokepoint && hits {
+                self.stats.null_routed += 1;
+                return DeliveryOutcome::NullRouted;
+            }
+        }
+        match self.listeners.get(&to) {
+            Some(router) => {
+                self.stats.delivered += 1;
+                self.stats.delivered_bytes += size as u64;
+                DeliveryOutcome::Delivered { at: now + self.latency(from_ip, to.ip), to: *router }
+            }
+            None => {
+                self.stats.no_listener += 1;
+                DeliveryOutcome::NoListener
+            }
+        }
+    }
+
+    /// Whether a reply *from* `remote` would be dropped on `day`.
+    pub fn reply_blocked(&self, remote: PeerIp, day: u64) -> bool {
+        self.blocklist
+            .as_ref()
+            .is_some_and(|bl| bl.is_blocked(&remote, day))
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(n: u32) -> Endpoint {
+        Endpoint { ip: PeerIp::V4(n), port: 9000 }
+    }
+
+    #[test]
+    fn delivery_to_registered_listener() {
+        let mut f = Fabric::new();
+        let bob = Hash256::digest(b"bob");
+        f.register(ep(2), bob);
+        match f.send(PeerIp::V4(1), ep(2), 100, SimTime(0)) {
+            DeliveryOutcome::Delivered { at, to } => {
+                assert_eq!(to, bob);
+                assert!(at > SimTime(0));
+                assert!(at.as_millis() <= 160);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(f.stats().delivered, 1);
+        assert_eq!(f.stats().delivered_bytes, 100);
+    }
+
+    #[test]
+    fn no_listener_reported() {
+        let mut f = Fabric::new();
+        assert_eq!(f.send(PeerIp::V4(1), ep(9), 10, SimTime(0)), DeliveryOutcome::NoListener);
+        assert_eq!(f.stats().no_listener, 1);
+    }
+
+    #[test]
+    fn null_routing_silently_drops() {
+        let mut f = Fabric::new();
+        f.register(ep(2), Hash256::digest(b"bob"));
+        let mut bl = BlockList::new(30);
+        bl.observe(PeerIp::V4(2), 0);
+        f.set_blocklist(bl);
+        assert_eq!(f.send(PeerIp::V4(1), ep(2), 10, SimTime(0)), DeliveryOutcome::NullRouted);
+        assert_eq!(f.stats().null_routed, 1);
+        assert!(f.reply_blocked(PeerIp::V4(2), 0));
+        assert!(!f.reply_blocked(PeerIp::V4(3), 0));
+    }
+
+    #[test]
+    fn blocklist_window_expires_in_fabric() {
+        let mut f = Fabric::new();
+        let bob = Hash256::digest(b"bob");
+        f.register(ep(2), bob);
+        let mut bl = BlockList::new(1);
+        bl.observe(PeerIp::V4(2), 0);
+        f.set_blocklist(bl);
+        assert_eq!(f.send(PeerIp::V4(1), ep(2), 10, SimTime(0)), DeliveryOutcome::NullRouted);
+        // Two days later the 1-day window has lapsed.
+        let later = SimTime::from_day_ms(2, 0);
+        assert!(matches!(
+            f.send(PeerIp::V4(1), ep(2), 10, later),
+            DeliveryOutcome::Delivered { .. }
+        ));
+    }
+
+    #[test]
+    fn latency_is_deterministic_and_symmetric() {
+        let f = Fabric::new();
+        let a = PeerIp::V4(10);
+        let b = PeerIp::V4(20);
+        assert_eq!(f.latency(a, b), f.latency(a, b));
+        assert_eq!(f.latency(a, b), f.latency(b, a));
+        // Different pairs usually differ.
+        assert_ne!(f.latency(a, b), f.latency(a, PeerIp::V4(21)));
+    }
+
+    #[test]
+    fn endpoint_reuse_returns_previous() {
+        let mut f = Fabric::new();
+        let old = Hash256::digest(b"old");
+        let new = Hash256::digest(b"new");
+        assert_eq!(f.register(ep(5), old), None);
+        assert_eq!(f.register(ep(5), new), Some(old));
+        assert_eq!(f.deregister(&ep(5)), Some(new));
+        assert_eq!(f.listener_count(), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Tunnel build requests.
+//!
+//! The originator selects hops, then sends a build request containing one
+//! *build record* per hop, each encrypted to that hop's public key. A hop
+//! can decrypt only its own record, which names the next hop — so each
+//! relay learns its neighbours and nothing else (the anonymity core of
+//! Hoang et al. §2.1.1).
+
+use i2p_crypto::elgamal::{ElGamalKeyPair, ElGamalPublic, SealedBox};
+use i2p_crypto::DetRng;
+use i2p_data::Hash256;
+
+/// The plaintext contents of one hop's build record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BuildRecord {
+    /// Which tunnel this is.
+    pub tunnel_id: u32,
+    /// This hop's position (0 = gateway).
+    pub position: u8,
+    /// The next hop to forward to (`None` for the endpoint of an outbound
+    /// tunnel / the originator-facing end).
+    pub next_hop: Option<Hash256>,
+    /// The symmetric layer key this hop must apply.
+    pub layer_key: [u8; 32],
+}
+
+impl BuildRecord {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(4 + 1 + 33 + 32);
+        v.extend_from_slice(&self.tunnel_id.to_be_bytes());
+        v.push(self.position);
+        match &self.next_hop {
+            Some(h) => {
+                v.push(1);
+                v.extend_from_slice(&h.0);
+            }
+            None => v.push(0),
+        }
+        v.extend_from_slice(&self.layer_key);
+        v
+    }
+
+    fn from_bytes(b: &[u8]) -> Option<Self> {
+        if b.len() < 6 {
+            return None;
+        }
+        let tunnel_id = u32::from_be_bytes(b[..4].try_into().ok()?);
+        let position = b[4];
+        let (next_hop, rest) = match b[5] {
+            1 => {
+                if b.len() < 6 + 32 {
+                    return None;
+                }
+                (Some(Hash256(b[6..38].try_into().ok()?)), &b[38..])
+            }
+            0 => (None, &b[6..]),
+            _ => return None,
+        };
+        if rest.len() != 32 {
+            return None;
+        }
+        Some(BuildRecord {
+            tunnel_id,
+            position,
+            next_hop,
+            layer_key: rest.try_into().ok()?,
+        })
+    }
+}
+
+/// A full tunnel build request: one sealed record per hop.
+#[derive(Clone, Debug)]
+pub struct TunnelBuildRequest {
+    /// Sealed records, hop order (gateway first).
+    pub records: Vec<(Hash256, SealedBox)>,
+    /// The tunnel id being built.
+    pub tunnel_id: u32,
+}
+
+impl TunnelBuildRequest {
+    /// Builds a request for the given `hops` (hash + public key), wiring
+    /// `next_hop` pointers and generating fresh layer keys.
+    ///
+    /// Returns the request plus the layer keys the originator must keep
+    /// (gateway-to-endpoint order).
+    pub fn create(
+        tunnel_id: u32,
+        hops: &[(Hash256, ElGamalPublic)],
+        rng: &mut DetRng,
+    ) -> (TunnelBuildRequest, Vec<[u8; 32]>) {
+        let mut records = Vec::with_capacity(hops.len());
+        let mut keys = Vec::with_capacity(hops.len());
+        for (i, (hash, pubkey)) in hops.iter().enumerate() {
+            let mut layer_key = [0u8; 32];
+            rng.fill_bytes(&mut layer_key);
+            let record = BuildRecord {
+                tunnel_id,
+                position: i as u8,
+                next_hop: hops.get(i + 1).map(|(h, _)| *h),
+                layer_key,
+            };
+            records.push((*hash, pubkey.seal(&record.to_bytes(), rng)));
+            keys.push(layer_key);
+        }
+        (TunnelBuildRequest { records, tunnel_id }, keys)
+    }
+
+    /// A hop processes the request: decrypts *its* record with its key
+    /// pair. Returns `None` if no record is addressed to it or decryption
+    /// fails.
+    pub fn process_as(&self, me: &Hash256, keypair: &ElGamalKeyPair) -> Option<BuildRecord> {
+        let (_, sealed) = self.records.iter().find(|(h, _)| h == me)?;
+        let plain = keypair.open(sealed)?;
+        BuildRecord::from_bytes(&plain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(seed: u64) -> (Hash256, ElGamalKeyPair) {
+        let kp = ElGamalKeyPair::from_secret_material(seed);
+        (Hash256::digest(&seed.to_be_bytes()), kp)
+    }
+
+    #[test]
+    fn hops_learn_only_their_neighbours() {
+        let mut rng = DetRng::new(1);
+        let hops: Vec<(Hash256, ElGamalKeyPair)> = (1..=3).map(hop).collect();
+        let pubs: Vec<(Hash256, ElGamalPublic)> =
+            hops.iter().map(|(h, kp)| (*h, kp.public)).collect();
+        let (req, keys) = TunnelBuildRequest::create(7, &pubs, &mut rng);
+        assert_eq!(keys.len(), 3);
+
+        for (i, (hash, kp)) in hops.iter().enumerate() {
+            let rec = req.process_as(hash, kp).expect("own record decrypts");
+            assert_eq!(rec.tunnel_id, 7);
+            assert_eq!(rec.position, i as u8);
+            assert_eq!(rec.layer_key, keys[i]);
+            let expected_next = pubs.get(i + 1).map(|(h, _)| *h);
+            assert_eq!(rec.next_hop, expected_next);
+        }
+    }
+
+    #[test]
+    fn wrong_key_cannot_read_others_records() {
+        let mut rng = DetRng::new(2);
+        let hops: Vec<(Hash256, ElGamalKeyPair)> = (1..=2).map(hop).collect();
+        let pubs: Vec<(Hash256, ElGamalPublic)> =
+            hops.iter().map(|(h, kp)| (*h, kp.public)).collect();
+        let (req, _) = TunnelBuildRequest::create(9, &pubs, &mut rng);
+        // Hop 1 tries to decrypt hop 0's record by pretending to be hop 0.
+        let stolen = req.records[0].1.clone();
+        assert_eq!(hops[1].1.open(&stolen), None);
+    }
+
+    #[test]
+    fn non_member_gets_nothing() {
+        let mut rng = DetRng::new(3);
+        let hops: Vec<(Hash256, ElGamalKeyPair)> = (1..=2).map(hop).collect();
+        let pubs: Vec<(Hash256, ElGamalPublic)> =
+            hops.iter().map(|(h, kp)| (*h, kp.public)).collect();
+        let (req, _) = TunnelBuildRequest::create(9, &pubs, &mut rng);
+        let (stranger_hash, stranger_kp) = hop(99);
+        assert!(req.process_as(&stranger_hash, &stranger_kp).is_none());
+    }
+
+    #[test]
+    fn record_codec_roundtrip() {
+        let rec = BuildRecord {
+            tunnel_id: 0xDEAD,
+            position: 3,
+            next_hop: Some(Hash256::digest(b"next")),
+            layer_key: [9; 32],
+        };
+        assert_eq!(BuildRecord::from_bytes(&rec.to_bytes()), Some(rec.clone()));
+        let rec2 = BuildRecord { next_hop: None, ..rec };
+        assert_eq!(BuildRecord::from_bytes(&rec2.to_bytes()), Some(rec2));
+    }
+
+    #[test]
+    fn malformed_record_rejected() {
+        assert_eq!(BuildRecord::from_bytes(&[]), None);
+        assert_eq!(BuildRecord::from_bytes(&[0; 5]), None);
+        let rec = BuildRecord {
+            tunnel_id: 1,
+            position: 0,
+            next_hop: None,
+            layer_key: [0; 32],
+        };
+        let mut bytes = rec.to_bytes();
+        bytes[5] = 7; // invalid next-hop discriminant
+        assert_eq!(BuildRecord::from_bytes(&bytes), None);
+    }
+}

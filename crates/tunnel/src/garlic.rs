@@ -1,0 +1,203 @@
+//! Garlic messages and cloves.
+//!
+//! "Multiple messages can be bundled together in a single I2P garlic
+//! message. When they are revealed at the endpoint of the transmission
+//! tunnel, each message, called 'bulb' (or 'clove' in I2P's terminology),
+//! has its own delivery instructions." (Hoang et al. §2.1.1.)
+//!
+//! The garlic layer is the *end-to-end* encryption (ElGamal + symmetric)
+//! that conceals a message from the outbound-tunnel endpoint and the
+//! inbound-tunnel gateway as it crosses between tunnels.
+
+use i2p_crypto::elgamal::{ElGamalKeyPair, ElGamalPublic, SealedBox};
+use i2p_crypto::DetRng;
+use i2p_data::Hash256;
+
+/// Where a clove should be delivered once revealed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeliveryInstructions {
+    /// Consume locally at the decrypting router.
+    Local,
+    /// Forward directly to a router.
+    Router(Hash256),
+    /// Forward into a tunnel at the given gateway.
+    Tunnel {
+        /// The tunnel's gateway router.
+        gateway: Hash256,
+        /// The tunnel id at that gateway.
+        tunnel_id: u32,
+    },
+}
+
+/// One clove: payload + instructions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Clove {
+    /// Delivery instructions.
+    pub instructions: DeliveryInstructions,
+    /// The wrapped payload (e.g. an I2NP message).
+    pub payload: Vec<u8>,
+}
+
+/// An encrypted garlic message.
+#[derive(Clone, Debug)]
+pub struct GarlicMessage {
+    /// The sealed bundle of cloves.
+    pub sealed: SealedBox,
+}
+
+fn encode_cloves(cloves: &[Clove]) -> Vec<u8> {
+    let mut v = Vec::new();
+    v.push(cloves.len() as u8);
+    for c in cloves {
+        match &c.instructions {
+            DeliveryInstructions::Local => v.push(0),
+            DeliveryInstructions::Router(h) => {
+                v.push(1);
+                v.extend_from_slice(&h.0);
+            }
+            DeliveryInstructions::Tunnel { gateway, tunnel_id } => {
+                v.push(2);
+                v.extend_from_slice(&gateway.0);
+                v.extend_from_slice(&tunnel_id.to_be_bytes());
+            }
+        }
+        v.extend_from_slice(&(c.payload.len() as u32).to_be_bytes());
+        v.extend_from_slice(&c.payload);
+    }
+    v
+}
+
+fn decode_cloves(b: &[u8]) -> Option<Vec<Clove>> {
+    let n = *b.first()? as usize;
+    let mut pos = 1usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = *b.get(pos)?;
+        pos += 1;
+        let instructions = match tag {
+            0 => DeliveryInstructions::Local,
+            1 => {
+                let h = Hash256(b.get(pos..pos + 32)?.try_into().ok()?);
+                pos += 32;
+                DeliveryInstructions::Router(h)
+            }
+            2 => {
+                let gateway = Hash256(b.get(pos..pos + 32)?.try_into().ok()?);
+                pos += 32;
+                let tunnel_id = u32::from_be_bytes(b.get(pos..pos + 4)?.try_into().ok()?);
+                pos += 4;
+                DeliveryInstructions::Tunnel { gateway, tunnel_id }
+            }
+            _ => return None,
+        };
+        let len = u32::from_be_bytes(b.get(pos..pos + 4)?.try_into().ok()?) as usize;
+        pos += 4;
+        let payload = b.get(pos..pos + len)?.to_vec();
+        pos += len;
+        out.push(Clove { instructions, payload });
+    }
+    if pos != b.len() {
+        return None;
+    }
+    Some(out)
+}
+
+impl GarlicMessage {
+    /// Seals `cloves` to the recipient's garlic key.
+    pub fn seal(cloves: &[Clove], to: ElGamalPublic, rng: &mut DetRng) -> Self {
+        assert!(cloves.len() <= 255);
+        GarlicMessage { sealed: to.seal(&encode_cloves(cloves), rng) }
+    }
+
+    /// Opens the message with the recipient's key pair.
+    pub fn open(&self, keypair: &ElGamalKeyPair) -> Option<Vec<Clove>> {
+        decode_cloves(&keypair.open(&self.sealed)?)
+    }
+
+    /// Wire size (for bandwidth accounting).
+    pub fn wire_len(&self) -> usize {
+        self.sealed.body.len() + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kp(seed: u64) -> ElGamalKeyPair {
+        ElGamalKeyPair::from_secret_material(seed)
+    }
+
+    #[test]
+    fn bundle_roundtrip_all_instruction_kinds() {
+        let bob = kp(1);
+        let mut rng = DetRng::new(2);
+        let cloves = vec![
+            Clove { instructions: DeliveryInstructions::Local, payload: b"for you".to_vec() },
+            Clove {
+                instructions: DeliveryInstructions::Router(Hash256::digest(b"carol")),
+                payload: b"forward me".to_vec(),
+            },
+            Clove {
+                instructions: DeliveryInstructions::Tunnel {
+                    gateway: Hash256::digest(b"gw"),
+                    tunnel_id: 42,
+                },
+                payload: vec![],
+            },
+        ];
+        let msg = GarlicMessage::seal(&cloves, bob.public, &mut rng);
+        assert_eq!(msg.open(&bob).unwrap(), cloves);
+    }
+
+    #[test]
+    fn wrong_recipient_cannot_open() {
+        let bob = kp(1);
+        let eve = kp(2);
+        let mut rng = DetRng::new(3);
+        let cloves =
+            vec![Clove { instructions: DeliveryInstructions::Local, payload: b"x".to_vec() }];
+        let msg = GarlicMessage::seal(&cloves, bob.public, &mut rng);
+        assert!(msg.open(&eve).is_none());
+    }
+
+    #[test]
+    fn empty_bundle() {
+        let bob = kp(4);
+        let mut rng = DetRng::new(5);
+        let msg = GarlicMessage::seal(&[], bob.public, &mut rng);
+        assert_eq!(msg.open(&bob).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn clove_codec_rejects_trailing_garbage() {
+        let cloves =
+            vec![Clove { instructions: DeliveryInstructions::Local, payload: b"p".to_vec() }];
+        let mut bytes = encode_cloves(&cloves);
+        bytes.push(0xFF);
+        assert!(decode_cloves(&bytes).is_none());
+    }
+
+    #[test]
+    fn clove_codec_rejects_bad_tag() {
+        let cloves =
+            vec![Clove { instructions: DeliveryInstructions::Local, payload: b"p".to_vec() }];
+        let mut bytes = encode_cloves(&cloves);
+        bytes[1] = 9;
+        assert!(decode_cloves(&bytes).is_none());
+    }
+
+    #[test]
+    fn large_bundle() {
+        let bob = kp(6);
+        let mut rng = DetRng::new(7);
+        let cloves: Vec<Clove> = (0..50u32)
+            .map(|i| Clove {
+                instructions: DeliveryInstructions::Router(Hash256::digest(&i.to_be_bytes())),
+                payload: vec![i as u8; i as usize],
+            })
+            .collect();
+        let msg = GarlicMessage::seal(&cloves, bob.public, &mut rng);
+        assert_eq!(msg.open(&bob).unwrap(), cloves);
+    }
+}

@@ -1,0 +1,33 @@
+//! # i2p-tunnel — garlic-routed unidirectional tunnels
+//!
+//! I2P "utilizes garlic-routing-based unidirectional tunnels for incoming
+//! and outgoing messages. … a single round-trip request message and its
+//! response between two parties needs four tunnels" (Hoang et al.
+//! §2.1.1). This crate implements:
+//!
+//! * [`build`] — tunnel build requests with per-hop records encrypted to
+//!   each hop's public key; a hop learns only its predecessor and
+//!   successor.
+//! * [`layered`] — the per-hop layer encryption ("each hop peels off one
+//!   encryption layer to learn the address of the next hop").
+//! * [`garlic`] — end-to-end garlic messages carrying *cloves* with
+//!   per-clove delivery instructions ("multiple messages can be bundled
+//!   together in a single I2P garlic message").
+//! * [`pool`] — tunnel pools with the 10-minute rotation ("new tunnels
+//!   are formed every ten minutes") and up-to-7-hop configurations.
+//! * [`select`] — weighted hop selection over peer-profile weights.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod garlic;
+pub mod layered;
+pub mod pool;
+pub mod select;
+
+pub use build::{BuildRecord, TunnelBuildRequest};
+pub use garlic::{Clove, DeliveryInstructions, GarlicMessage};
+pub use layered::{LayeredMessage, TunnelKeys};
+pub use pool::{Tunnel, TunnelConfig, TunnelDirection, TunnelPool, TUNNEL_LIFETIME};
+pub use select::{select_hops, HopCandidate};

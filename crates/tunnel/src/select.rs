@@ -1,0 +1,104 @@
+//! Weighted hop selection.
+//!
+//! "The higher the specifications a router has, the higher the
+//! probability that it will be selected to participate in more tunnels"
+//! (Hoang et al. §4.2). Selection weight comes from the peer's profile
+//! (bandwidth class × observed reliability); the router crate computes
+//! the weights, this module does the sampling.
+
+use i2p_crypto::DetRng;
+use i2p_data::Hash256;
+
+/// A candidate hop with its selection weight.
+#[derive(Clone, Copy, Debug)]
+pub struct HopCandidate {
+    /// The peer.
+    pub hash: Hash256,
+    /// Relative selection weight (0 disqualifies).
+    pub weight: u32,
+}
+
+/// Samples `n` distinct hops from `candidates`, weight-proportionally and
+/// without replacement. Returns `None` if fewer than `n` candidates have
+/// positive weight.
+pub fn select_hops(candidates: &[HopCandidate], n: usize, rng: &mut DetRng) -> Option<Vec<Hash256>> {
+    let mut pool: Vec<HopCandidate> = candidates.iter().copied().filter(|c| c.weight > 0).collect();
+    if pool.len() < n {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let total: u64 = pool.iter().map(|c| c.weight as u64).sum();
+        let mut pick = rng.below(total);
+        let mut idx = 0;
+        for (i, c) in pool.iter().enumerate() {
+            if pick < c.weight as u64 {
+                idx = i;
+                break;
+            }
+            pick -= c.weight as u64;
+        }
+        out.push(pool.swap_remove(idx).hash);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(i: u8, w: u32) -> HopCandidate {
+        HopCandidate { hash: Hash256::digest(&[i]), weight: w }
+    }
+
+    #[test]
+    fn selects_distinct_hops() {
+        let mut rng = DetRng::new(1);
+        let cands: Vec<_> = (0..10).map(|i| cand(i, 1)).collect();
+        for _ in 0..100 {
+            let hops = select_hops(&cands, 3, &mut rng).unwrap();
+            let set: std::collections::HashSet<_> = hops.iter().collect();
+            assert_eq!(set.len(), 3);
+        }
+    }
+
+    #[test]
+    fn insufficient_candidates_none() {
+        let mut rng = DetRng::new(2);
+        let cands = vec![cand(1, 5), cand(2, 0)];
+        assert!(select_hops(&cands, 2, &mut rng).is_none());
+        assert!(select_hops(&cands, 1, &mut rng).is_some());
+    }
+
+    #[test]
+    fn weights_bias_selection() {
+        let mut rng = DetRng::new(3);
+        let heavy = cand(1, 90);
+        let light = cand(2, 10);
+        let mut heavy_first = 0;
+        for _ in 0..2_000 {
+            let hops = select_hops(&[heavy, light], 1, &mut rng).unwrap();
+            if hops[0] == heavy.hash {
+                heavy_first += 1;
+            }
+        }
+        let share = heavy_first as f64 / 2_000.0;
+        assert!((share - 0.9).abs() < 0.03, "share {share}");
+    }
+
+    #[test]
+    fn zero_weight_never_selected() {
+        let mut rng = DetRng::new(4);
+        let cands = vec![cand(1, 10), cand(2, 0), cand(3, 10)];
+        for _ in 0..200 {
+            let hops = select_hops(&cands, 2, &mut rng).unwrap();
+            assert!(!hops.contains(&cand(2, 0).hash));
+        }
+    }
+
+    #[test]
+    fn zero_hop_selection_is_empty() {
+        let mut rng = DetRng::new(5);
+        assert_eq!(select_hops(&[cand(1, 1)], 0, &mut rng), Some(vec![]));
+    }
+}

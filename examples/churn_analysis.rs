@@ -1,0 +1,34 @@
+//! Churn analysis: peer longevity and IP-address dynamics (the paper's
+//! §5.2), including the survival curves of Fig. 7 and the multi-IP /
+//! multi-AS phenomena of Figs. 8 and 12.
+//!
+//! ```sh
+//! cargo run --release --example churn_analysis
+//! ```
+
+use i2pscope::measure::churn::churn_curves;
+use i2pscope::measure::fleet::Fleet;
+use i2pscope::measure::ipchurn::ip_churn_report;
+use i2pscope::measure::report;
+use i2pscope::sim::world::{World, WorldConfig};
+
+fn main() {
+    let days = 60u64;
+    let world = World::generate(WorldConfig { days, scale: 0.05, seed: 527 });
+    let fleet = Fleet::paper_main();
+
+    let curves = churn_curves(&world, &fleet, days, 40);
+    println!("{}", report::render_fig7(&curves, &[1, 3, 7, 14, 21, 30, 40]));
+    println!(
+        "paper anchors: >7 d — 56.36% continuous / 73.93% intermittent; \
+         >30 d — 20.03% / 31.15%\n"
+    );
+
+    let rep = ip_churn_report(&world, &fleet, 0..days);
+    println!("{}", report::render_fig8(&rep));
+    println!("{}", report::render_fig12(&rep));
+    println!(
+        "paper: 45% single-IP; 0.65% of peers exceed 100 addresses; \
+         extremes span 39 ASes / 25 countries (VPN- or Tor-routed routers, §5.3.2)."
+    );
+}

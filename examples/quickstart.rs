@@ -1,0 +1,90 @@
+//! Quickstart: spin up a small emulated I2P network, watch the netDb
+//! work, and run a one-day measurement — a five-minute tour of the
+//! public API.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use i2pscope::measure::fleet::{Fleet, Vantage, VantageMode};
+use i2pscope::router::config::{FloodfillMode, Reachability};
+use i2pscope::router::{RouterConfig, TestNet};
+use i2pscope::sim::world::{World, WorldConfig};
+use i2pscope::tunnel::pool::TunnelDirection;
+use i2p_data::Duration;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Part 1: a protocol-level network of 20 routers.
+    // ------------------------------------------------------------------
+    println!("=== Part 1: protocol-level TestNet ===");
+    let mut net = TestNet::new(42);
+    for i in 0..20 {
+        net.add_router(RouterConfig {
+            shared_kbps: 512,
+            floodfill: if i < 5 { FloodfillMode::Manual } else { FloodfillMode::Disabled },
+            reachability: Reachability::Public,
+            country: 0,
+            max_participating_tunnels: 1000,
+            version: "0.9.34",
+        });
+    }
+    net.refresh_reseeds();
+    for i in 0..net.len() {
+        let learned = net.bootstrap(i);
+        if i == 0 {
+            println!("router 0 bootstrapped with {learned} RouterInfos from the reseed servers");
+        }
+    }
+    for i in 0..net.len() {
+        let now = net.now();
+        let out = net.router_mut(i).publish_self(now);
+        net.dispatch(i, out);
+    }
+    let events = net.run_for(Duration::from_secs(30));
+    println!("published RouterInfos; {events} netDb messages processed (stores + floods)");
+    println!(
+        "router 19's netDb now holds {} RouterInfos",
+        net.router(19).store.router_count()
+    );
+
+    // Build a 2-hop outbound tunnel like the Fig. 1 diagram.
+    let mut rng = net.fork_rng(7);
+    let now = net.now();
+    let (msgs, id) = net
+        .router_mut(19)
+        .start_tunnel_build(TunnelDirection::Outbound, 2, now, &mut rng)
+        .expect("enough hop candidates");
+    net.dispatch(19, msgs);
+    net.run_for(Duration::from_secs(5));
+    println!(
+        "tunnel {id:#x} built: live outbound tunnels = {}",
+        net.router(19).outbound.live_count(net.now())
+    );
+
+    // ------------------------------------------------------------------
+    // Part 2: a measurement-scale world and one monitoring router.
+    // ------------------------------------------------------------------
+    println!("\n=== Part 2: measurement world (scaled to ~3.2K daily peers) ===");
+    let world = World::generate(WorldConfig { days: 5, scale: 0.1, seed: 42 });
+    println!(
+        "world: {} peers generated, {} online today",
+        world.total_peers(),
+        world.online_count(0)
+    );
+    let vantage = Vantage::monitoring(VantageMode::NonFloodfill, 1);
+    let fleet = Fleet { vantages: vec![vantage] };
+    let harvest = fleet.harvest_union(&world, 0);
+    println!(
+        "one 8 MB/s non-floodfill monitoring router observes {} peers ({:.0}% of the network) — the paper's Fig. 2 effect",
+        harvest.peer_count(),
+        100.0 * harvest.peer_count() as f64 / world.online_count(0) as f64
+    );
+
+    let full = Fleet::paper_main().harvest_union(&world, 0);
+    println!(
+        "the paper's 20-router fleet observes {} peers ({:.0}%)",
+        full.peer_count(),
+        100.0 * full.peer_count() as f64 / world.online_count(0) as f64
+    );
+}

@@ -1,0 +1,28 @@
+//! # i2pscope — umbrella crate
+//!
+//! Re-exports the full public API of the reproduction of Hoang et al.,
+//! *"An Empirical Study of the I2P Anonymity Network and its Censorship
+//! Resistance"* (IMC 2018). See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ```
+//! use i2pscope::measure::fleet::Fleet;
+//! use i2pscope::sim::world::{World, WorldConfig};
+//!
+//! let world = World::generate(WorldConfig { days: 3, scale: 0.01, seed: 1 });
+//! let fleet = Fleet::paper_main();
+//! let harvest = fleet.harvest_union(&world, 0);
+//! assert!(harvest.peer_count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use i2p_crypto as crypto;
+pub use i2p_data as data;
+pub use i2p_geoip as geoip;
+pub use i2p_measure as measure;
+pub use i2p_netdb as netdb;
+pub use i2p_router as router;
+pub use i2p_sim as sim;
+pub use i2p_transport as transport;
+pub use i2p_tunnel as tunnel;
