@@ -4,8 +4,8 @@
 //! seed. Subsystems (population generator, churn model, tunnel peer
 //! selection, transport jitter, …) each get their own [`DetRng`] stream via
 //! [`DetRng::fork`], so adding randomness consumption in one subsystem
-//! never perturbs another — a property the calibration in
-//! `EXPERIMENTS.md` relies on.
+//! never perturbs another — a property the calibration constants in
+//! `i2p_sim::params` rely on.
 //!
 //! The generator is xoshiro256++ seeded through SplitMix64, both
 //! implemented here (public-domain algorithms by Blackman & Vigna).

@@ -128,7 +128,7 @@ mod tests {
     fn anchors_have_paper_shape() {
         // Paper: cont >7d ≈ 56 %, int >7d ≈ 74 %; cont >30d ≈ 20 %,
         // int >30d ≈ 31 %. Generous tolerances at test scale; the
-        // full-scale numbers are recorded in EXPERIMENTS.md.
+        // full-scale numbers come from the `fig07_churn` bench.
         let c = curves();
         let c7 = c.continuous_at(7);
         let i7 = c.intermittent_at(7);

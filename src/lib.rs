@@ -3,7 +3,7 @@
 //! Re-exports the full public API of the reproduction of Hoang et al.,
 //! *"An Empirical Study of the I2P Anonymity Network and its Censorship
 //! Resistance"* (IMC 2018). See `DESIGN.md` for the system inventory and
-//! `EXPERIMENTS.md` for paper-vs-measured results.
+//! fidelity notes, and `README.md` for how to regenerate each figure.
 //!
 //! ```
 //! use i2pscope::measure::fleet::Fleet;

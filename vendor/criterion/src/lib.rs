@@ -1,0 +1,133 @@
+//! # criterion (offline shim)
+//!
+//! A minimal, dependency-free stand-in for the real `criterion` crate,
+//! used because this workspace builds in an offline environment. It
+//! implements the API surface the workspace's micro-benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! geometric-rampup wall-clock timer instead of criterion's statistical
+//! machinery. Each benchmark prints one `name … ns/iter` line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost. The shim times the routine
+/// per call either way; the variants exist for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs (batches many per measurement).
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Measures one benchmark routine.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+const TARGET: Duration = Duration::from_millis(25);
+const MAX_ITERS: u64 = 1 << 24;
+/// Upper bound on inputs materialised at once by `iter_batched`.
+const MAX_BATCH: u64 = 1024;
+
+impl Bencher {
+    /// Times `routine`, ramping the iteration count geometrically until
+    /// the measured window reaches ~25 ms.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET || n >= MAX_ITERS {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / n as f64;
+                return;
+            }
+            n = n.saturating_mul(4);
+        }
+    }
+
+    /// Like [`Bencher::iter`], but rebuilds the routine's input with
+    /// `setup` outside the timed region on every call. Inputs are
+    /// materialised in chunks of at most [`MAX_BATCH`] so memory stays
+    /// bounded regardless of how many iterations the rampup reaches.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut n: u64 = 1;
+        loop {
+            let mut elapsed = Duration::ZERO;
+            let mut remaining = n;
+            while remaining > 0 {
+                let chunk = remaining.min(MAX_BATCH);
+                let inputs: Vec<I> = (0..chunk).map(|_| setup()).collect();
+                let start = Instant::now();
+                for input in inputs {
+                    black_box(routine(input));
+                }
+                elapsed += start.elapsed();
+                remaining -= chunk;
+            }
+            if elapsed >= TARGET || n >= MAX_ITERS {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / n as f64;
+                return;
+            }
+            n = n.saturating_mul(4);
+        }
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `routine` as the benchmark `name` and prints its timing.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: f64::NAN };
+        routine(&mut b);
+        if b.ns_per_iter >= 1_000_000.0 {
+            println!("{name:<40} {:>12.3} ms/iter", b.ns_per_iter / 1_000_000.0);
+        } else {
+            println!("{name:<40} {:>12.1} ns/iter", b.ns_per_iter);
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group function invoking each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `fn main` running the named benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
