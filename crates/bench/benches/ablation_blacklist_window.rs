@@ -5,7 +5,8 @@
 //! size (10 routers) and reports the diminishing returns, plus the
 //! price: the number of firewall rules the censor must hold.
 
-use i2p_measure::censor::{blocking_rate, censor_blacklist, victim_view};
+use i2p_measure::censor::{blocking_rate, censor_blacklist_from_engine, victim_view};
+use i2p_measure::engine::HarvestEngine;
 use i2p_measure::fleet::Fleet;
 
 fn main() {
@@ -13,6 +14,8 @@ fn main() {
     let fleet = Fleet::alternating(20);
     i2p_bench::emit("Ablation: blacklist window", || {
         let victim = victim_view(&world, 35, 0x51C);
+        // One engine fill over the widest window serves all nine sweeps.
+        let engine = HarvestEngine::build(&world, &fleet, 6..36);
         let mut out = String::from(
             "Ablation: blacklist window sweep (10 censor routers, eval day 35)\n\
              ------------------------------------------------------------------\n\
@@ -20,7 +23,7 @@ fn main() {
         );
         let mut prev = 0.0;
         for w in [1u64, 2, 3, 5, 7, 10, 15, 20, 30] {
-            let bl = censor_blacklist(&world, &fleet, 10, w, 35);
+            let bl = censor_blacklist_from_engine(&engine, 10, w, 35);
             let rate = blocking_rate(&victim, &bl);
             out.push_str(&format!(
                 "{w:>4} d   {rate:>10.1}%   {:>12}{}\n",

@@ -5,6 +5,7 @@
 //! size. This ablation quantifies that claim: 20 routers, all-floodfill
 //! vs all-non-floodfill vs 10+10.
 
+use i2p_measure::engine::HarvestEngine;
 use i2p_measure::fleet::{Fleet, Vantage, VantageMode};
 
 fn fleet_of(mode: Option<VantageMode>, n: usize) -> Fleet {
@@ -41,10 +42,11 @@ fn main() {
             ("mixed 10 + 10", None),
         ] {
             let fleet = fleet_of(mode, 20);
+            let engine = HarvestEngine::build(&world, &fleet, 2..7);
             let mut seen = 0usize;
             let mut online = 0usize;
             for day in 2..7 {
-                seen += fleet.harvest_union(&world, day).peer_count();
+                seen += engine.count_union(day);
                 online += world.online_count(day);
             }
             out.push_str(&format!(

@@ -8,13 +8,17 @@
 //! the homogeneous curve saturates almost immediately, confirming the
 //! design choice.
 
+use i2p_measure::engine::HarvestEngine;
 use i2p_measure::fleet::{Fleet, Vantage, VantageMode};
 
 fn main() {
     let world = i2p_bench::world(6);
     i2p_bench::emit("Ablation: visibility heterogeneity", || {
         let fleet = Fleet::alternating(40);
-        // Measured heterogeneous curve.
+        // Measured heterogeneous curve: one engine fill on day 3, then
+        // every prefix falls out of a single cumulative-OR pass.
+        let engine = HarvestEngine::build(&world, &fleet, 3..4);
+        let curve = engine.coverage_curve(3);
         let mut out = String::from(
             "Ablation: heterogeneous vs homogeneous peer visibility\n\
              -------------------------------------------------------\n\
@@ -24,9 +28,10 @@ fn main() {
         // empirical single-vantage coverage rate p1.
         let online = world.online_count(3) as f64;
         let v = Vantage::monitoring(VantageMode::NonFloodfill, 0x7_001);
-        let p1 = Fleet { vantages: vec![v] }.harvest_union(&world, 3).peer_count() as f64 / online;
+        let p1 =
+            HarvestEngine::with_vantages(&world, vec![v], 3..4).count_one(0, 3) as f64 / online;
         for k in [1usize, 2, 5, 10, 20, 40] {
-            let het = fleet.harvest_union_prefix(&world, 3, k).peer_count() as f64 / online;
+            let het = curve[k - 1] as f64 / online;
             let hom = 1.0 - (1.0 - p1).powi(k as i32);
             out.push_str(&format!(
                 "{k:>7}   {:>12.1}%   {:>12.1}%\n",

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for the indexed harvest engine: the
+//! day-index lookup vs the naive presence scan, the parallel bitset
+//! fill, and the word-wise union queries vs a naive re-harvest. These
+//! are the primitives every figure bench sits on — regressions here
+//! show up before they reach the figure timings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use i2p_measure::engine::HarvestEngine;
+use i2p_measure::fleet::Fleet;
+use i2p_sim::world::{World, WorldConfig};
+use std::hint::black_box;
+
+const DAYS: u64 = 10;
+
+fn bench_world() -> World {
+    World::generate(WorldConfig { days: DAYS, scale: 0.05, seed: 0xBEEF })
+}
+
+fn bench_day_index(c: &mut Criterion) {
+    let world = bench_world();
+    c.bench_function("online_count_indexed", |b| {
+        let mut day = 0u64;
+        b.iter(|| {
+            day = (day + 1) % DAYS;
+            black_box(world.online_count(day))
+        })
+    });
+    c.bench_function("online_scan_naive", |b| {
+        let mut day = 0i64;
+        b.iter(|| {
+            day = (day + 1) % DAYS as i64;
+            world.peers.iter().filter(|p| p.online(black_box(day))).count()
+        })
+    });
+    c.bench_function("online_iter_indexed", |b| {
+        b.iter(|| world.online_peers(black_box(3)).map(|p| p.id as usize).sum::<usize>())
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let world = bench_world();
+    let fleet = Fleet::alternating(20);
+
+    c.bench_function("engine_fill_20v_10d", |b| {
+        b.iter(|| HarvestEngine::build(black_box(&world), &fleet, 0..DAYS))
+    });
+
+    let engine = HarvestEngine::build(&world, &fleet, 0..DAYS);
+    c.bench_function("engine_count_union_20v", |b| {
+        b.iter(|| engine.count_union(black_box(4)))
+    });
+    c.bench_function("engine_coverage_curve_20v", |b| {
+        b.iter(|| engine.coverage_curve(black_box(4)))
+    });
+    c.bench_function("engine_union_ids_20v", |b| {
+        b.iter(|| engine.union_prefix_ids(black_box(4), 20))
+    });
+    c.bench_function("naive_union_count_20v", |b| {
+        b.iter(|| fleet.harvest_union(&world, black_box(4)).peer_count())
+    });
+}
+
+criterion_group!(benches, bench_day_index, bench_engine);
+criterion_main!(benches);

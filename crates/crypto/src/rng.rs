@@ -11,6 +11,7 @@
 //! implemented here (public-domain algorithms by Blackman & Vigna).
 
 /// SplitMix64 step; used for seeding and forking.
+#[inline]
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
@@ -27,6 +28,7 @@ pub struct DetRng {
 
 impl DetRng {
     /// Creates a generator from a 64-bit seed (expanded via SplitMix64).
+    #[inline]
     pub fn new(seed: u64) -> Self {
         let mut sm = seed;
         let s = [
@@ -43,6 +45,7 @@ impl DetRng {
     /// Forking is stable: the child depends only on the parent's *seed
     /// material*, not on how much the parent has been used — callers fork
     /// all subsystem streams up front from a root RNG.
+    #[inline]
     pub fn fork(&self, label: u64) -> Self {
         // Mix the label into the state through SplitMix64 so that labels
         // 0,1,2,… yield well-separated streams.
@@ -57,6 +60,7 @@ impl DetRng {
     }
 
     /// Next raw 64-bit output.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[0]
             .wrapping_add(self.s[3])
@@ -73,16 +77,19 @@ impl DetRng {
     }
 
     /// Next 32-bit output.
+    #[inline]
     pub fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
 
     /// Uniform in `[0, 1)` with 53-bit resolution.
+    #[inline]
     pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, bound)` (Lemire's method; `bound > 0`).
+    #[inline]
     pub fn below(&mut self, bound: u64) -> u64 {
         debug_assert!(bound > 0);
         // Rejection-free for simulation purposes: 128-bit multiply-shift.
@@ -97,6 +104,7 @@ impl DetRng {
     }
 
     /// Bernoulli trial with probability `p`.
+    #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
         self.next_f64() < p
     }

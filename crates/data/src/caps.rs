@@ -201,6 +201,100 @@ impl std::fmt::Display for Caps {
     }
 }
 
+/// An inline caps string.
+///
+/// A published caps string never exceeds five letters (compat `O` +
+/// bandwidth letter + `f` + `R`/`U` + `H`), so observation records store
+/// it in a fixed six-byte buffer instead of a heap `String` — at harvest
+/// scale (peers × days × vantages) the per-record allocation dominates
+/// record capture.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CapsString {
+    buf: [u8; 6],
+    len: u8,
+}
+
+impl CapsString {
+    /// Maximum letters an inline caps string holds.
+    pub const CAPACITY: usize = 6;
+
+    /// The empty caps string.
+    pub const fn new() -> Self {
+        CapsString { buf: [0; 6], len: 0 }
+    }
+
+    /// Appends a capability letter.
+    ///
+    /// # Panics
+    /// If the buffer is full or `c` is not ASCII — caps letters are
+    /// drawn from `K..X f R U H`.
+    pub fn push(&mut self, c: char) {
+        assert!(c.is_ascii(), "caps letters are ASCII");
+        assert!((self.len as usize) < Self::CAPACITY, "caps string overflow");
+        self.buf[self.len as usize] = c as u8;
+        self.len += 1;
+    }
+
+    /// The string view.
+    pub fn as_str(&self) -> &str {
+        // Only ASCII bytes are ever pushed.
+        std::str::from_utf8(&self.buf[..self.len as usize]).expect("caps are ASCII")
+    }
+}
+
+impl Default for CapsString {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for CapsString {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<&str> for CapsString {
+    fn from(s: &str) -> Self {
+        let mut out = CapsString::new();
+        for c in s.chars() {
+            out.push(c);
+        }
+        out
+    }
+}
+
+impl PartialEq<&str> for CapsString {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl std::fmt::Display for CapsString {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::fmt::Debug for CapsString {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl Caps {
+    /// The published caps string as an inline [`CapsString`].
+    pub fn to_inline_caps(&self) -> CapsString {
+        let mut out = CapsString::new();
+        for c in self.published_letters() {
+            out.push(c);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,5 +364,42 @@ mod tests {
         assert!(Caps::parse("Z").is_err());
         assert!(Caps::parse("").is_err());
         assert!(Caps::parse("fR").is_err()); // no bandwidth letter
+    }
+
+    #[test]
+    fn inline_caps_matches_heap_string() {
+        for b in BandwidthClass::ALL {
+            for ff in [false, true] {
+                for r in [false, true] {
+                    for h in [false, true] {
+                        let caps = Caps { bandwidth: b, floodfill: ff, reachable: r, hidden: h };
+                        let inline = caps.to_inline_caps();
+                        assert_eq!(inline.as_str(), caps.to_caps_string());
+                        assert_eq!(Caps::parse(&inline).unwrap(), caps);
+                        assert_eq!(CapsString::from(inline.as_str()), inline);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inline_caps_longest_legal_string_fits() {
+        // `OXfUH` is the longest publishable combination (5 letters).
+        let caps =
+            Caps { bandwidth: BandwidthClass::X, floodfill: true, reachable: false, hidden: true };
+        let inline = caps.to_inline_caps();
+        assert_eq!(inline, "OXfUH");
+        assert_eq!(inline.len(), 5);
+        assert!(inline.len() <= CapsString::CAPACITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn inline_caps_overflow_panics() {
+        let mut s = CapsString::new();
+        for _ in 0..7 {
+            s.push('L');
+        }
     }
 }

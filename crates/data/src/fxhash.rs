@@ -1,0 +1,107 @@
+//! A fast, non-cryptographic hasher for integer-keyed maps.
+//!
+//! The measurement suite keys almost every map and set by a dense `u32`
+//! peer id (or a packed `PeerIp`); the standard library's default
+//! SipHash spends most of its time defending against HashDoS that a
+//! deterministic simulation cannot experience. This is the rustc /
+//! FxHash recipe: rotate, xor, multiply by a large odd constant, one
+//! word at a time.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Word-at-a-time multiplicative hasher (the FxHash recipe).
+#[derive(Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// `2^64 / φ`, the usual Fibonacci-hashing multiplier.
+const K: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_roundtrip() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        for i in 0..10_000u32 {
+            m.insert(i, i * 2);
+            s.insert(i * 3);
+        }
+        assert_eq!(m.len(), 10_000);
+        assert_eq!(m[&77], 154);
+        assert!(s.contains(&2997));
+        assert!(!s.contains(&2998));
+    }
+
+    #[test]
+    fn dense_u32_keys_spread_across_buckets() {
+        // Low-entropy sequential keys must still differ in their high
+        // hash bits (what HashMap's bucket selection consumes).
+        let build = FxBuildHasher::default();
+        let hashes: FxHashSet<u64> = (0u32..1000)
+            .map(|i| {
+                use std::hash::{BuildHasher, Hash};
+                let mut h = build.build_hasher();
+                i.hash(&mut h);
+                h.finish() >> 48
+            })
+            .collect();
+        assert!(hashes.len() > 900, "only {} distinct high-16 patterns", hashes.len());
+    }
+}

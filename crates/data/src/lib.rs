@@ -17,6 +17,8 @@
 //! * [`routerinfo::RouterInfo`] / [`leaseset::LeaseSet`] — the two kinds
 //!   of netDb metadata (§2.1.2), with a binary codec and signatures.
 //! * [`codec`] — the big-endian, length-prefixed binary format.
+//! * [`fxhash`] — FxHash-style fast hasher for the integer-keyed maps
+//!   the measurement suite lives on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +26,7 @@
 pub mod addr;
 pub mod caps;
 pub mod codec;
+pub mod fxhash;
 pub mod hash;
 pub mod ident;
 pub mod leaseset;
@@ -31,7 +34,8 @@ pub mod routerinfo;
 pub mod time;
 
 pub use addr::{PeerIp, RouterAddress, TransportStyle};
-pub use caps::{BandwidthClass, Caps};
+pub use caps::{BandwidthClass, Caps, CapsString};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use hash::Hash256;
 pub use ident::RouterIdentity;
 pub use leaseset::{Lease, LeaseSet};

@@ -15,9 +15,9 @@
 use crate::censor::{censor_blacklist, victim_view, VictimView};
 use crate::fleet::Fleet;
 use i2p_crypto::DetRng;
+use i2p_data::FxHashSet;
 use i2p_sim::world::World;
 use i2p_tunnel::select::{select_hops, HopCandidate};
-use std::collections::HashSet;
 
 /// The victim's effective hop-candidate pool under the attack.
 #[derive(Clone, Debug)]
@@ -53,7 +53,7 @@ pub fn attack_setup(
     censor_routers: usize,
     window_days: u64,
     n_malicious: usize,
-) -> (AttackSetup, VictimView, HashSet<i2p_data::PeerIp>) {
+) -> (AttackSetup, VictimView, FxHashSet<i2p_data::PeerIp>) {
     let victim = victim_view(world, eval_day, 0x51C);
     let blacklist = censor_blacklist(world, fleet, censor_routers, window_days, eval_day);
     let blocked = victim.known_ips.iter().filter(|ip| blacklist.contains(ip)).count();
@@ -109,7 +109,7 @@ pub fn simulate_attack(
             true,
         ));
     }
-    let malicious_set: HashSet<_> = candidates
+    let malicious_set: FxHashSet<_> = candidates
         .iter()
         .filter(|(_, bad)| *bad)
         .map(|(c, _)| c.hash)

@@ -118,7 +118,7 @@ pub fn evaluate_strategy(
     let end_day = start_day + horizon;
     let bl_end = censor_blacklist(world, fleet, censor_routers, 30 + horizon, end_day - 1);
 
-    let usable = |peer: &PeerRecord, day: u64, bl: &std::collections::HashSet<i2p_data::PeerIp>| -> bool {
+    let usable = |peer: &PeerRecord, day: u64, bl: &i2p_data::FxHashSet<i2p_data::PeerIp>| -> bool {
         let d = day as i64;
         if !peer.online(d) {
             return false;

@@ -1,6 +1,7 @@
 //! Capacity-flag analyses: Fig. 9 and Table 1, plus the §5.3.1
 //! qualified-floodfill population estimate.
 
+use crate::engine::HarvestEngine;
 use crate::fleet::Fleet;
 use i2p_data::{BandwidthClass, Caps};
 use i2p_sim::world::World;
@@ -25,14 +26,15 @@ pub struct CapacityHistogram {
 pub fn capacity_histogram(world: &World, fleet: &Fleet, days: std::ops::Range<u64>) -> CapacityHistogram {
     let mut totals = [0usize; 7];
     let day_count = days.clone().count().max(1);
+    let engine = HarvestEngine::build(world, fleet, days.clone());
     for d in days {
-        for rec in fleet.harvest_union(world, d).records.values() {
+        engine.for_each_observation(d, fleet.vantages.len(), |rec| {
             for ch in rec.caps.chars() {
                 if let Some(b) = BandwidthClass::from_letter(ch) {
                     totals[idx(b)] += 1;
                 }
             }
-        }
+        });
     }
     for t in &mut totals {
         *t /= day_count;
@@ -58,31 +60,31 @@ pub struct BandwidthTable {
 
 /// Computes Table 1 for one day.
 pub fn bandwidth_table(world: &World, fleet: &Fleet, day: u64) -> BandwidthTable {
-    let harvest = fleet.harvest_union(world, day);
+    let engine = HarvestEngine::build(world, fleet, day..day + 1);
     let mut counts = [[0usize; 7]; 4]; // ff, reach, unreach, total
     let mut sizes = [0usize; 4];
-    for rec in harvest.records.values() {
+    engine.for_each_observation(day, fleet.vantages.len(), |rec| {
         let caps: Caps = rec.parsed_caps();
-        let mut groups: Vec<usize> = vec![3];
+        let mut groups = [3usize, 0, 0];
+        let mut n_groups = 1;
         if caps.floodfill {
-            groups.push(0);
+            groups[n_groups] = 0;
+            n_groups += 1;
         }
-        if caps.reachable {
-            groups.push(1);
-        } else {
-            groups.push(2);
-        }
-        for &g in &groups {
+        groups[n_groups] = if caps.reachable { 1 } else { 2 };
+        n_groups += 1;
+        let groups = &groups[..n_groups];
+        for &g in groups {
             sizes[g] += 1;
         }
         for ch in rec.caps.chars() {
             if let Some(b) = BandwidthClass::from_letter(ch) {
-                for &g in &groups {
+                for &g in groups {
                     counts[g][idx(b)] += 1;
                 }
             }
         }
-    }
+    });
     let pct = |g: usize| -> [f64; 7] {
         let mut out = [0.0; 7];
         for i in 0..7 {
@@ -117,10 +119,10 @@ pub struct FloodfillEstimate {
 /// qualified (N/O/P/X) share, and divide by the 6 % automatic-floodfill
 /// fraction reported on the I2P site.
 pub fn floodfill_estimate(world: &World, fleet: &Fleet, day: u64) -> FloodfillEstimate {
-    let harvest = fleet.harvest_union(world, day);
+    let engine = HarvestEngine::build(world, fleet, day..day + 1);
     let mut ff = 0usize;
     let mut qualified = 0usize;
-    for rec in harvest.records.values() {
+    engine.for_each_observation(day, fleet.vantages.len(), |rec| {
         let caps = rec.parsed_caps();
         if caps.floodfill {
             ff += 1;
@@ -128,7 +130,7 @@ pub fn floodfill_estimate(world: &World, fleet: &Fleet, day: u64) -> FloodfillEs
                 qualified += 1;
             }
         }
-    }
+    });
     let share = qualified as f64 / ff.max(1) as f64;
     FloodfillEstimate {
         observed_floodfills: ff,

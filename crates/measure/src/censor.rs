@@ -9,19 +9,19 @@
 //! the share of the victim's known peer IPs that appear on the censor's
 //! blacklist.
 
+use crate::engine::HarvestEngine;
 use crate::fleet::Fleet;
-use i2p_data::PeerIp;
 use i2p_crypto::DetRng;
+use i2p_data::{FxHashMap, FxHashSet, PeerIp};
 use i2p_sim::params;
 use i2p_sim::peer::PeerRecord;
 use i2p_sim::world::World;
-use std::collections::HashSet;
 
 /// The victim's accumulated netDb view.
 #[derive(Clone, Debug)]
 pub struct VictimView {
     /// Peer IPs present in the victim's RouterInfos (the blockable set).
-    pub known_ips: HashSet<PeerIp>,
+    pub known_ips: FxHashSet<PeerIp>,
 }
 
 /// Whether the victim client sighted `peer` on `day` — ordinary client
@@ -50,7 +50,7 @@ fn victim_sees(peer: &PeerRecord, day: u64, salt: u64) -> bool {
 /// recent sighting.
 pub fn victim_view(world: &World, eval_day: u64, salt: u64) -> VictimView {
     let from = eval_day.saturating_sub(params::VICTIM_ACCUMULATION_DAYS - 1);
-    let mut last_seen: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    let mut last_seen: FxHashMap<u32, u64> = FxHashMap::default();
     for day in from..=eval_day {
         for peer in world.online_peers(day) {
             if victim_sees(peer, day, salt) {
@@ -58,7 +58,7 @@ pub fn victim_view(world: &World, eval_day: u64, salt: u64) -> VictimView {
             }
         }
     }
-    let mut known_ips = HashSet::new();
+    let mut known_ips = FxHashSet::default();
     for (&peer_id, &day) in &last_seen {
         // netDb records age out (floodfills expire RouterInfos after an
         // hour, clients within a day or two, §4.3): entries whose peer
@@ -90,23 +90,46 @@ pub fn censor_blacklist(
     n_routers: usize,
     window_days: u64,
     eval_day: u64,
-) -> HashSet<PeerIp> {
+) -> FxHashSet<PeerIp> {
     let from = eval_day.saturating_sub(window_days - 1);
-    let mut ips = HashSet::new();
+    // Only the first `n_routers` lanes are ever read, so only they are
+    // filled (the Fig. 13 matrix shares a full fill via
+    // `censor_blacklist_from_engine` instead).
+    let prefix = fleet.vantages[..n_routers.min(fleet.vantages.len())].to_vec();
+    let engine = HarvestEngine::with_vantages(world, prefix, from..eval_day + 1);
+    censor_blacklist_from_engine(&engine, n_routers, window_days, eval_day)
+}
+
+/// [`censor_blacklist`] against a pre-filled engine, so a sweep over
+/// (router count × window) pairs — the whole Fig. 13 matrix — pays for
+/// the sighting draws exactly once.
+pub fn censor_blacklist_from_engine(
+    engine: &HarvestEngine<'_>,
+    n_routers: usize,
+    window_days: u64,
+    eval_day: u64,
+) -> FxHashSet<PeerIp> {
+    let from = eval_day.saturating_sub(window_days - 1);
+    let world = engine.world();
+    let mut ips = FxHashSet::default();
     for day in from..=eval_day {
-        let harvest = fleet.harvest_union_prefix(world, day, n_routers);
-        for rec in harvest.records.values() {
-            for ip in rec.ips() {
-                ips.insert(ip);
+        let d = day as i64;
+        // Membership plus the day's published addresses; no records.
+        engine.for_each_union_peer(day, n_routers, |peer| {
+            if peer.publishes_ip(d) {
+                ips.insert(peer.ipv4_on(d, &world.geo));
+                if let Some(v6) = peer.ipv6_on(d, &world.geo) {
+                    ips.insert(v6);
+                }
             }
-        }
+        });
     }
     ips
 }
 
 /// Blocking rate: share of the victim's known IPs on the blacklist
 /// (§6.2.1).
-pub fn blocking_rate(victim: &VictimView, blacklist: &HashSet<PeerIp>) -> f64 {
+pub fn blocking_rate(victim: &VictimView, blacklist: &FxHashSet<PeerIp>) -> f64 {
     if victim.known_ips.is_empty() {
         return 0.0;
     }
@@ -133,6 +156,10 @@ pub fn blocking_matrix(
     windows: &[u64],
 ) -> Vec<BlockingSeries> {
     let victim = victim_view(world, eval_day, 0x51C);
+    // One fill covering the longest window serves every matrix cell.
+    let max_window = windows.iter().copied().max().unwrap_or(1);
+    let from = eval_day.saturating_sub(max_window - 1);
+    let engine = HarvestEngine::build(world, fleet, from..eval_day + 1);
     windows
         .iter()
         .map(|&w| BlockingSeries {
@@ -140,7 +167,7 @@ pub fn blocking_matrix(
             points: router_counts
                 .iter()
                 .map(|&n| {
-                    let bl = censor_blacklist(world, fleet, n, w, eval_day);
+                    let bl = censor_blacklist_from_engine(&engine, n, w, eval_day);
                     (n, blocking_rate(&victim, &bl))
                 })
                 .collect(),
@@ -201,8 +228,8 @@ mod tests {
 
     #[test]
     fn blocking_rate_arithmetic() {
-        let mut victim = VictimView { known_ips: HashSet::new() };
-        let mut bl = HashSet::new();
+        let mut victim = VictimView { known_ips: FxHashSet::default() };
+        let mut bl = FxHashSet::default();
         for i in 0..10u32 {
             victim.known_ips.insert(PeerIp::V4(i));
             if i < 7 {
@@ -210,6 +237,6 @@ mod tests {
             }
         }
         assert!((blocking_rate(&victim, &bl) - 70.0).abs() < 1e-9);
-        assert_eq!(blocking_rate(&VictimView { known_ips: HashSet::new() }, &bl), 0.0);
+        assert_eq!(blocking_rate(&VictimView { known_ips: FxHashSet::default() }, &bl), 0.0);
     }
 }

@@ -7,9 +7,10 @@
 //! consecutive sighted days starting at `d0`; the *intermittent* span
 //! runs to the last day the peer is ever sighted.
 
+use crate::engine::HarvestEngine;
 use crate::fleet::Fleet;
+use i2p_data::FxHashMap;
 use i2p_sim::world::World;
-use std::collections::HashMap;
 
 /// The survival curves.
 #[derive(Clone, Debug)]
@@ -39,12 +40,14 @@ impl ChurnCurves {
 /// Only peers first seen early enough to have `horizon` days of
 /// follow-up are included, so late joiners do not truncate the curves.
 pub fn churn_curves(world: &World, fleet: &Fleet, days: u64, horizon: usize) -> ChurnCurves {
-    // Sighting matrix: peer -> sorted days sighted.
-    let mut sightings: HashMap<u32, Vec<u64>> = HashMap::new();
+    // Sighting matrix: peer -> sorted days sighted. Survival needs only
+    // membership, so no observation records are materialized at all.
+    let engine = HarvestEngine::build(world, fleet, 0..days);
+    let mut sightings: FxHashMap<u32, Vec<u64>> = FxHashMap::default();
     for d in 0..days {
-        for rec in fleet.harvest_union(world, d).records.values() {
-            sightings.entry(rec.peer_id).or_default().push(d);
-        }
+        engine.for_each_union_peer(d, fleet.vantages.len(), |peer| {
+            sightings.entry(peer.id).or_default().push(d);
+        });
     }
     let max_first = days.saturating_sub(horizon as u64);
     let mut cont_hist = vec![0usize; horizon + 1];

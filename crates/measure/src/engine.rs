@@ -1,0 +1,459 @@
+//! The indexed harvest engine.
+//!
+//! The naive path ([`Fleet::harvest_union`] and friends) re-draws every
+//! (vantage, peer, day) sighting each time an analysis asks a question,
+//! so a figure that sweeps fleet prefixes or blacklist windows pays the
+//! full harvest cost once per query. The engine inverts that: it draws
+//! each (vantage, peer, day) sighting **exactly once** into per-vantage
+//! bitsets over the day's online population (positions come from
+//! `i2p_sim::world::DayIndex`, so offline and long-dead peers cost
+//! nothing), then answers membership questions by word-wise OR +
+//! popcount. Fig. 4's 40-prefix coverage curve becomes one cumulative-OR
+//! pass; Fig. 13's (routers × windows) blacklist matrix reuses one fill.
+//!
+//! Two further cost levers:
+//!
+//! * **Day-invariant caching.** A pair's sighting probability (one
+//!   `exp`) and the persistent component of its daily draw are constant
+//!   across days; the fill computes both once per (vantage, peer) and
+//!   replays only the cheap daily part ([`Vantage::draw_against`]).
+//! * **Parallel fill.** Lanes are filled by `std::thread::scope` tasks,
+//!   one per (vantage, contiguous day chunk). Each draw is a pure
+//!   function of (vantage salt, peer seed, day) and each task writes a
+//!   disjoint slice, so the result is bit-identical to the sequential
+//!   path regardless of thread count or chunking — the parity suite in
+//!   `tests/parity.rs` holds the engine to the naive oracle.
+//!
+//! Full [`ObservedRouterInfo`] records are materialized lazily — only
+//! when an analysis needs fields beyond set membership (caps, addresses,
+//! introducers), via [`HarvestEngine::harvest_union_prefix`] or
+//! [`HarvestEngine::for_each_observation`].
+
+use crate::fleet::{DailyHarvest, Fleet, Vantage};
+use crate::observed::ObservedRouterInfo;
+use i2p_data::FxHashMap;
+use i2p_sim::peer::PeerRecord;
+use i2p_sim::world::World;
+use std::borrow::Cow;
+use std::ops::Range;
+
+/// The precomputed sighting matrix for one fleet over a day range.
+pub struct HarvestEngine<'w> {
+    world: &'w World,
+    vantages: Vec<Vantage>,
+    days: Range<u64>,
+    /// Per-day online peer ids: borrowed from the world's `DayIndex`
+    /// for study days, owned scan results past its horizon (peers can
+    /// outlive the study window), so the engine is total over any day.
+    day_ids: Vec<Cow<'w, [u32]>>,
+    /// Bitset words per day (`online / 64`, rounded up).
+    day_words: Vec<usize>,
+    /// Word offset of each day within a lane (length `n_days + 1`).
+    day_off: Vec<usize>,
+    /// One lane per vantage: the per-day bitsets, concatenated in day
+    /// order. Bit `i` of a day's slice is set iff the vantage saw the
+    /// `i`-th online peer of the day (positions per `day_ids`).
+    lanes: Vec<Vec<u64>>,
+}
+
+impl<'w> HarvestEngine<'w> {
+    /// Fills the engine for `fleet` over `days`.
+    pub fn build(world: &'w World, fleet: &Fleet, days: Range<u64>) -> Self {
+        Self::with_vantages(world, fleet.vantages.clone(), days)
+    }
+
+    /// [`HarvestEngine::build`] for an explicit vantage list; the list
+    /// order defines prefix semantics.
+    pub fn with_vantages(world: &'w World, vantages: Vec<Vantage>, days: Range<u64>) -> Self {
+        let day_ids: Vec<Cow<'w, [u32]>> = days
+            .clone()
+            .map(|d| match world.online_ids(d) {
+                Some(ids) => Cow::Borrowed(ids),
+                None => Cow::Owned(world.online_peers(d).map(|p| p.id).collect()),
+            })
+            .collect();
+        let n_days = day_ids.len();
+        let day_words: Vec<usize> = day_ids.iter().map(|ids| ids.len().div_ceil(64)).collect();
+        let mut day_off = Vec::with_capacity(n_days + 1);
+        day_off.push(0usize);
+        for &w in &day_words {
+            day_off.push(day_off.last().unwrap() + w);
+        }
+        let total_words = *day_off.last().unwrap();
+        let mut lanes: Vec<Vec<u64>> = vec![vec![0u64; total_words]; vantages.len().max(1)];
+        lanes.truncate(vantages.len());
+
+        // One fill task per (vantage, day chunk): enough chunks to keep
+        // every core busy, but no smaller — each task re-derives the
+        // day-invariant caches, so larger chunks amortize them better.
+        // On a single core the scope would be pure spawn overhead, so
+        // the lanes fill inline; chunking never changes a bit either
+        // way (each task's draws are pure and its output disjoint).
+        let threads =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if threads == 1 || vantages.len() <= 1 && n_days <= 1 {
+            for (v, lane) in lanes.iter_mut().enumerate() {
+                fill_lane_chunk(
+                    world, vantages[v], days.start, 0..n_days, &day_ids, &day_words, lane,
+                );
+            }
+        } else {
+            let chunks_per_lane = threads
+                .div_ceil(vantages.len().max(1))
+                .min(n_days.max(1))
+                .max(1);
+            let chunk_len = n_days.div_ceil(chunks_per_lane).max(1);
+            std::thread::scope(|s| {
+                for (v, lane) in lanes.iter_mut().enumerate() {
+                    let vantage = vantages[v];
+                    let mut rest: &mut [u64] = lane.as_mut_slice();
+                    let mut start = 0usize;
+                    while start < n_days {
+                        let end = (start + chunk_len).min(n_days);
+                        let words = day_off[end] - day_off[start];
+                        let (head, tail) = rest.split_at_mut(words);
+                        rest = tail;
+                        let day_ids = &day_ids;
+                        let day_words = &day_words;
+                        let first_day = days.start;
+                        s.spawn(move || {
+                            fill_lane_chunk(
+                                world, vantage, first_day, start..end, day_ids, day_words, head,
+                            )
+                        });
+                        start = end;
+                    }
+                }
+            });
+        }
+        HarvestEngine { world, vantages, days, day_ids, day_words, day_off, lanes }
+    }
+
+    /// The world the engine draws from.
+    pub fn world(&self) -> &'w World {
+        self.world
+    }
+
+    /// The vantages, in prefix order.
+    pub fn vantages(&self) -> &[Vantage] {
+        &self.vantages
+    }
+
+    /// The filled day range.
+    pub fn days(&self) -> Range<u64> {
+        self.days.clone()
+    }
+
+    /// Day index within the filled range.
+    fn di(&self, day: u64) -> usize {
+        assert!(
+            self.days.contains(&day),
+            "day {day} outside the engine's filled range {:?}",
+            self.days
+        );
+        (day - self.days.start) as usize
+    }
+
+    /// One vantage's bitset for one day.
+    fn lane(&self, vantage: usize, di: usize) -> &[u64] {
+        &self.lanes[vantage][self.day_off[di]..self.day_off[di + 1]]
+    }
+
+    fn ids(&self, day: u64) -> &[u32] {
+        &self.day_ids[self.di(day)]
+    }
+
+    /// Peers a single vantage saw on `day` — O(online/64) popcounts.
+    pub fn count_one(&self, vantage: usize, day: u64) -> usize {
+        self.lane(vantage, self.di(day)).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Peers the first `k` vantages saw on `day`, word-wise OR +
+    /// popcount, no allocation.
+    pub fn count_union_prefix(&self, day: u64, k: usize) -> usize {
+        let di = self.di(day);
+        let base = self.day_off[di];
+        let k = k.min(self.vantages.len());
+        let mut count = 0usize;
+        for j in base..base + self.day_words[di] {
+            let mut acc = 0u64;
+            for v in 0..k {
+                acc |= self.lanes[v][j];
+            }
+            count += acc.count_ones() as usize;
+        }
+        count
+    }
+
+    /// Peers the whole fleet saw on `day`.
+    pub fn count_union(&self, day: u64) -> usize {
+        self.count_union_prefix(day, self.vantages.len())
+    }
+
+    /// Peers an arbitrary vantage subset saw on `day`.
+    pub fn count_union_subset(&self, day: u64, vantages: &[usize]) -> usize {
+        let di = self.di(day);
+        let base = self.day_off[di];
+        let mut count = 0usize;
+        for j in base..base + self.day_words[di] {
+            let mut acc = 0u64;
+            for &v in vantages {
+                acc |= self.lanes[v][j];
+            }
+            count += acc.count_ones() as usize;
+        }
+        count
+    }
+
+    /// Fig. 4 in one pass: `curve[k-1]` = peers seen by the first `k`
+    /// vantages on `day`, computed by a single cumulative OR over the
+    /// lanes instead of `k` independent re-harvests.
+    pub fn coverage_curve(&self, day: u64) -> Vec<usize> {
+        let di = self.di(day);
+        let mut acc = vec![0u64; self.day_words[di]];
+        let mut curve = Vec::with_capacity(self.vantages.len());
+        for v in 0..self.vantages.len() {
+            let lane = self.lane(v, di);
+            let mut count = 0usize;
+            for (a, w) in acc.iter_mut().zip(lane) {
+                *a |= w;
+                count += a.count_ones() as usize;
+            }
+            curve.push(count);
+        }
+        curve
+    }
+
+    /// The union bitset of the first `k` vantages on `day`.
+    fn union_words(&self, day: u64, k: usize) -> Vec<u64> {
+        let di = self.di(day);
+        let mut acc = vec![0u64; self.day_words[di]];
+        for v in 0..k.min(self.vantages.len()) {
+            for (a, w) in acc.iter_mut().zip(self.lane(v, di)) {
+                *a |= w;
+            }
+        }
+        acc
+    }
+
+    /// Ids of the peers the first `k` vantages saw on `day`, ascending.
+    pub fn union_prefix_ids(&self, day: u64, k: usize) -> Vec<u32> {
+        let ids = self.ids(day);
+        let mut out = Vec::new();
+        for_each_set_bit(&self.union_words(day, k), |i| out.push(ids[i]));
+        out
+    }
+
+    /// Visits every peer the first `k` vantages saw on `day`, in
+    /// ascending id order, without materializing records.
+    pub fn for_each_union_peer(&self, day: u64, k: usize, mut f: impl FnMut(&'w PeerRecord)) {
+        let ids = self.ids(day);
+        let peers = &self.world.peers;
+        for_each_set_bit(&self.union_words(day, k), |i| f(&peers[ids[i] as usize]));
+    }
+
+    /// Visits the lazily-materialized observation record of every peer
+    /// the first `k` vantages saw on `day` — for analyses that need
+    /// fields beyond membership (caps, addresses, introducers).
+    pub fn for_each_observation(
+        &self,
+        day: u64,
+        k: usize,
+        mut f: impl FnMut(ObservedRouterInfo),
+    ) {
+        let geo = &self.world.geo;
+        self.for_each_union_peer(day, k, |peer| f(ObservedRouterInfo::capture(peer, day, geo)));
+    }
+
+    /// Materialized harvest of a single vantage on `day` (engine
+    /// counterpart of [`Fleet::harvest_one`]).
+    pub fn harvest_one(&self, vantage: usize, day: u64) -> DailyHarvest {
+        let ids = self.ids(day);
+        let peers = &self.world.peers;
+        let mut records = FxHashMap::default();
+        for_each_set_bit(self.lane(vantage, self.di(day)), |i| {
+            let peer = &peers[ids[i] as usize];
+            records.insert(peer.id, ObservedRouterInfo::capture(peer, day, &self.world.geo));
+        });
+        DailyHarvest { records }
+    }
+
+    /// Materialized union harvest of the first `k` vantages on `day`
+    /// (engine counterpart of [`Fleet::harvest_union_prefix`]).
+    pub fn harvest_union_prefix(&self, day: u64, k: usize) -> DailyHarvest {
+        let mut records = FxHashMap::default();
+        self.for_each_observation(day, k, |rec| {
+            records.insert(rec.peer_id, rec);
+        });
+        DailyHarvest { records }
+    }
+
+    /// Materialized union harvest of the whole fleet on `day`.
+    pub fn harvest_union(&self, day: u64) -> DailyHarvest {
+        self.harvest_union_prefix(day, self.vantages.len())
+    }
+
+    /// Per-day union harvests over `days` (engine counterpart of
+    /// [`Fleet::harvest_window`]).
+    pub fn harvest_window(&self, days: Range<u64>) -> Vec<DailyHarvest> {
+        days.map(|d| self.harvest_union(d)).collect()
+    }
+}
+
+/// Fills one vantage's bitsets for a contiguous chunk of days.
+fn fill_lane_chunk(
+    world: &World,
+    vantage: Vantage,
+    first_day: u64,
+    chunk: Range<usize>,
+    day_ids: &[Cow<'_, [u32]>],
+    day_words: &[usize],
+    out: &mut [u64],
+) {
+    // Day-invariant pair cache, dense by peer id: the pair's draw seed,
+    // its sighting probability, and the persistent-draw outcome (a bit).
+    // Each is computed at most once per peer the vantage meets in this
+    // chunk; the daily hot loop then touches only these flat arrays —
+    // never a full `PeerRecord`. All three are zero-initialized (cheap
+    // `alloc_zeroed` pages); `p == 0.0` marks "not yet cached", which is
+    // sound because a missed sentinel merely recomputes the same values.
+    let n = world.total_peers();
+    let mut seeds = vec![0u64; n];
+    let mut ps = vec![0.0f64; n];
+    let mut pers = vec![0u64; n.div_ceil(64)];
+    let mut base = 0usize;
+    for di in chunk {
+        let day = first_day + di as u64;
+        let ids: &[u32] = &day_ids[di];
+        let lane = &mut out[base..base + day_words[di]];
+        for (i, &id) in ids.iter().enumerate() {
+            // Ids come from the day index, so the peer is online by
+            // construction; only the sighting draw remains.
+            let iu = id as usize;
+            let mut p = ps[iu];
+            let (seed, pers_hit);
+            if p == 0.0 {
+                let peer = &world.peers[iu];
+                seed = vantage.pair_seed(peer);
+                p = vantage.sight_probability(peer);
+                pers_hit = vantage.persistent_draw(peer) < p;
+                seeds[iu] = seed;
+                ps[iu] = p;
+                pers[iu / 64] |= (pers_hit as u64) << (iu % 64);
+            } else {
+                seed = seeds[iu];
+                pers_hit = (pers[iu / 64] >> (iu % 64)) & 1 == 1;
+            }
+            if vantage.draw_against(seed, day, p, || pers_hit) {
+                lane[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        base += day_words[di];
+    }
+}
+
+/// Calls `f` with the index of every set bit, ascending.
+fn for_each_set_bit(words: &[u64], mut f: impl FnMut(usize)) {
+    for (j, &word) in words.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            let bit = w.trailing_zeros() as usize;
+            f(j * 64 + bit);
+            w &= w - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::VantageMode;
+    use i2p_sim::world::WorldConfig;
+    use std::collections::BTreeSet;
+
+    fn small_world() -> World {
+        World::generate(WorldConfig { days: 8, scale: 0.03, seed: 17 })
+    }
+
+    #[test]
+    fn engine_matches_naive_counts_and_sets() {
+        let w = small_world();
+        let fleet = Fleet::alternating(6);
+        let engine = HarvestEngine::build(&w, &fleet, 0..8);
+        for day in 0..8 {
+            for k in 1..=6 {
+                let naive = fleet.harvest_union_prefix(&w, day, k);
+                assert_eq!(engine.count_union_prefix(day, k), naive.peer_count());
+                let naive_ids: BTreeSet<u32> = naive.records.keys().copied().collect();
+                let engine_ids: BTreeSet<u32> =
+                    engine.union_prefix_ids(day, k).into_iter().collect();
+                assert_eq!(engine_ids, naive_ids, "day {day} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_curve_equals_prefix_counts() {
+        let w = small_world();
+        let fleet = Fleet::alternating(5);
+        let engine = HarvestEngine::build(&w, &fleet, 2..4);
+        for day in 2..4 {
+            let curve = engine.coverage_curve(day);
+            assert_eq!(curve.len(), 5);
+            for k in 1..=5 {
+                assert_eq!(curve[k - 1], engine.count_union_prefix(day, k));
+            }
+            // Monotone by construction.
+            assert!(curve.windows(2).all(|w| w[1] >= w[0]));
+        }
+    }
+
+    #[test]
+    fn single_vantage_lane_matches_harvest_one() {
+        let w = small_world();
+        let v = Vantage::monitoring(VantageMode::Floodfill, 0xAB);
+        let fleet = Fleet { vantages: vec![v] };
+        let engine = HarvestEngine::build(&w, &fleet, 3..5);
+        for day in 3..5 {
+            let naive = fleet.harvest_one(&w, &v, day);
+            assert_eq!(engine.count_one(0, day), naive.peer_count());
+            assert_eq!(engine.harvest_one(0, day).records, naive.records);
+        }
+    }
+
+    #[test]
+    fn subset_union_is_order_independent() {
+        let w = small_world();
+        let fleet = Fleet::alternating(4);
+        let engine = HarvestEngine::build(&w, &fleet, 0..2);
+        assert_eq!(
+            engine.count_union_subset(1, &[0, 3]),
+            engine.count_union_subset(1, &[3, 0])
+        );
+        assert_eq!(engine.count_union_subset(1, &[0, 1, 2, 3]), engine.count_union(1));
+    }
+
+    #[test]
+    fn engine_is_total_past_the_study_window() {
+        // Peers outlive the 8-day study window; past the DayIndex
+        // horizon the engine must keep matching the naive path via the
+        // world's scan fallback.
+        let w = small_world();
+        let fleet = Fleet::alternating(3);
+        let engine = HarvestEngine::build(&w, &fleet, 6..11);
+        for day in 6..11 {
+            let naive = fleet.harvest_union(&w, day);
+            assert_eq!(engine.count_union(day), naive.peer_count(), "day {day}");
+            assert_eq!(engine.harvest_union(day).records, naive.records);
+        }
+        assert!(engine.count_union(9) > 0, "life continues past the window");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the engine's filled range")]
+    fn out_of_range_day_panics() {
+        let w = small_world();
+        let engine = HarvestEngine::build(&w, &Fleet::alternating(2), 0..3);
+        engine.count_union(5);
+    }
+}

@@ -15,10 +15,10 @@
 
 use crate::observed::ObservedRouterInfo;
 use i2p_crypto::DetRng;
+use i2p_data::FxHashMap;
 use i2p_sim::params;
 use i2p_sim::peer::PeerRecord;
 use i2p_sim::world::World;
-use std::collections::HashMap;
 
 /// Vantage operating mode (§4.2's two groups).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -66,17 +66,48 @@ impl Vantage {
     /// ([`params::FRESH_DRAW_PROB`]); this is what keeps multi-day
     /// blacklist windows from trivially uniting to 100 % (Fig. 13).
     pub fn sees(&self, peer: &PeerRecord, day: u64) -> bool {
-        if !peer.online(day as i64) {
-            return false;
-        }
-        let pair_seed = peer.seed ^ self.salt.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        peer.online(day as i64) && self.sees_online(peer, day)
+    }
+
+    /// The sighting draw alone, for a peer already known to be online on
+    /// `day` (the indexed engine iterates only online peers, so it skips
+    /// the redundant presence re-draw).
+    pub fn sees_online(&self, peer: &PeerRecord, day: u64) -> bool {
+        let pair_seed = self.pair_seed(peer);
+        let p = self.sight_probability(peer);
+        self.draw_against(pair_seed, day, p, || DetRng::new(pair_seed).next_f64() < p)
+    }
+
+    /// The per-pair seed all (vantage, peer) draws key off.
+    pub fn pair_seed(&self, peer: &PeerRecord) -> u64 {
+        peer.seed ^ self.salt.wrapping_mul(0xD6E8_FEB8_6659_FD93)
+    }
+
+    /// The persistent component of the pair's daily draws — constant
+    /// across days, so the engine computes it once per (vantage, peer).
+    pub fn persistent_draw(&self, peer: &PeerRecord) -> f64 {
+        DetRng::new(self.pair_seed(peer)).next_f64()
+    }
+
+    /// The daily sighting decision given the pair's day-invariants:
+    /// `pair_seed` must be [`Vantage::pair_seed`], `p` must be
+    /// [`Vantage::sight_probability`], and `persistent_hit` must yield
+    /// `persistent_draw < p`. Splitting the invariants out lets the
+    /// engine cache them (an `exp`, an RNG stream, and a `PeerRecord`
+    /// fetch per pair) while staying bit-identical to [`Vantage::sees`].
+    pub fn draw_against(
+        &self,
+        pair_seed: u64,
+        day: u64,
+        p: f64,
+        persistent_hit: impl FnOnce() -> bool,
+    ) -> bool {
         let mut daily = DetRng::new(pair_seed ^ (day + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let u = if daily.next_f64() < params::FRESH_DRAW_PROB {
-            daily.next_f64()
+        if daily.next_f64() < params::FRESH_DRAW_PROB {
+            daily.next_f64() < p
         } else {
-            DetRng::new(pair_seed).next_f64()
-        };
-        u < self.sight_probability(peer)
+            persistent_hit()
+        }
     }
 }
 
@@ -84,7 +115,7 @@ impl Vantage {
 #[derive(Clone, Debug, Default)]
 pub struct DailyHarvest {
     /// Observed RouterInfos, keyed by peer id.
-    pub records: HashMap<u32, ObservedRouterInfo>,
+    pub records: FxHashMap<u32, ObservedRouterInfo>,
 }
 
 impl DailyHarvest {
@@ -134,38 +165,39 @@ impl Fleet {
 
     /// Harvest of a single vantage on `day`.
     pub fn harvest_one(&self, world: &World, vantage: &Vantage, day: u64) -> DailyHarvest {
-        let mut records = HashMap::new();
-        for peer in world.online_peers(day) {
-            if vantage.sees(peer, day) {
-                records.insert(peer.id, ObservedRouterInfo::capture(peer, day, &world.geo));
-            }
-        }
-        DailyHarvest { records }
+        harvest_union_of(world, std::slice::from_ref(vantage), day)
     }
 
     /// Union harvest of the whole fleet on `day` (aggregating the
     /// viewpoints, §4.2).
     pub fn harvest_union(&self, world: &World, day: u64) -> DailyHarvest {
-        let mut records = HashMap::new();
-        for peer in world.online_peers(day) {
-            if self.vantages.iter().any(|v| v.sees(peer, day)) {
-                records.insert(peer.id, ObservedRouterInfo::capture(peer, day, &world.geo));
-            }
-        }
-        DailyHarvest { records }
+        harvest_union_of(world, &self.vantages, day)
     }
 
     /// Cumulative union when operating only the first `k` vantages
     /// (Fig. 4's x-axis) on `day`.
     pub fn harvest_union_prefix(&self, world: &World, day: u64, k: usize) -> DailyHarvest {
-        let sub = Fleet { vantages: self.vantages[..k.min(self.vantages.len())].to_vec() };
-        sub.harvest_union(world, day)
+        harvest_union_of(world, &self.vantages[..k.min(self.vantages.len())], day)
     }
 
     /// Harvests a full window, returning per-day union harvests.
     pub fn harvest_window(&self, world: &World, days: std::ops::Range<u64>) -> Vec<DailyHarvest> {
         days.map(|d| self.harvest_union(world, d)).collect()
     }
+}
+
+/// Union harvest of an arbitrary vantage slice on `day` — the naive
+/// per-peer path every [`Fleet`] method routes through. It stays the
+/// reference implementation (and test oracle) for the bitset
+/// [`crate::engine::HarvestEngine`].
+pub fn harvest_union_of(world: &World, vantages: &[Vantage], day: u64) -> DailyHarvest {
+    let mut records = FxHashMap::default();
+    for peer in world.online_peers(day) {
+        if vantages.iter().any(|v| v.sees(peer, day)) {
+            records.insert(peer.id, ObservedRouterInfo::capture(peer, day, &world.geo));
+        }
+    }
+    DailyHarvest { records }
 }
 
 #[cfg(test)]

@@ -8,8 +8,8 @@
 
 use crate::ipchurn::collect_ip_stats;
 use crate::fleet::Fleet;
+use i2p_data::FxHashMap;
 use i2p_sim::world::World;
-use std::collections::HashMap;
 
 /// A ranked distribution row.
 #[derive(Clone, Debug)]
@@ -42,7 +42,7 @@ pub struct GeoReport {
 /// Computes Fig. 10 over the window.
 pub fn country_distribution(world: &World, fleet: &Fleet, days: std::ops::Range<u64>) -> GeoReport {
     let stats = collect_ip_stats(world, fleet, days.clone());
-    let mut per_country: HashMap<usize, usize> = HashMap::new();
+    let mut per_country: FxHashMap<usize, usize> = FxHashMap::default();
     let mut unresolved = 0usize;
     for s in stats.values() {
         // The §5.3.2 rule: one count per (peer, country).
@@ -97,7 +97,7 @@ pub struct AsReport {
 /// Computes Fig. 11 over the window.
 pub fn as_distribution(world: &World, fleet: &Fleet, days: std::ops::Range<u64>) -> AsReport {
     let stats = collect_ip_stats(world, fleet, days);
-    let mut per_as: HashMap<u32, usize> = HashMap::new();
+    let mut per_as: FxHashMap<u32, usize> = FxHashMap::default();
     for s in stats.values() {
         for &a in &s.ases {
             *per_as.entry(a).or_default() += 1;

@@ -6,21 +6,21 @@
 //! (0.65 %) exceeded one hundred addresses; §5.3.2 traces the multi-AS
 //! tail to VPN/Tor-routed routers.
 
+use crate::engine::HarvestEngine;
 use crate::fleet::Fleet;
-use i2p_data::PeerIp;
+use i2p_data::{FxHashMap, FxHashSet, PeerIp};
 use i2p_sim::world::World;
-use std::collections::{HashMap, HashSet};
 
 /// Per-peer address/AS accumulation over the window.
 #[derive(Clone, Debug, Default)]
 pub struct PeerIpStats {
     /// Distinct addresses observed.
-    pub ips: HashSet<PeerIp>,
+    pub ips: FxHashSet<PeerIp>,
     /// Distinct ASes those addresses resolve to (unresolvable addresses
     /// are skipped, as with MaxMind misses).
-    pub ases: HashSet<u32>,
+    pub ases: FxHashSet<u32>,
     /// Distinct countries.
-    pub countries: HashSet<usize>,
+    pub countries: FxHashSet<usize>,
 }
 
 /// The Fig. 8 / Fig. 12 aggregate.
@@ -48,22 +48,27 @@ pub fn collect_ip_stats(
     world: &World,
     fleet: &Fleet,
     days: std::ops::Range<u64>,
-) -> HashMap<u32, PeerIpStats> {
-    let mut stats: HashMap<u32, PeerIpStats> = HashMap::new();
-    for d in days {
-        for rec in fleet.harvest_union(world, d).records.values() {
-            if rec.is_unknown_ip() {
-                continue;
+) -> FxHashMap<u32, PeerIpStats> {
+    let engine = HarvestEngine::build(world, fleet, days.clone());
+    let mut stats: FxHashMap<u32, PeerIpStats> = FxHashMap::default();
+    for day in days {
+        let d = day as i64;
+        // Only published addresses matter, so peers that publish
+        // nothing that day (the unknown-IP group) cost one reach draw.
+        engine.for_each_union_peer(day, fleet.vantages.len(), |peer| {
+            if !peer.publishes_ip(d) {
+                return;
             }
-            let entry = stats.entry(rec.peer_id).or_default();
-            for ip in rec.ips() {
+            let entry = stats.entry(peer.id).or_default();
+            let v4 = peer.ipv4_on(d, &world.geo);
+            for ip in std::iter::once(v4).chain(peer.ipv6_on(d, &world.geo)) {
                 entry.ips.insert(ip);
                 if let Some(loc) = world.geo.lookup(ip) {
                     entry.ases.insert(world.geo.asn(loc.asn_id));
                     entry.countries.insert(loc.country);
                 }
             }
-        }
+        });
     }
     stats
 }

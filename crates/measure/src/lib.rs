@@ -10,6 +10,10 @@
 //!   bandwidth) and daily netDb harvesting (hourly snapshots, daily
 //!   cleanup — §4.3). Produces [`observed::ObservedRouterInfo`] records;
 //!   every analysis below consumes only those observations.
+//! * [`engine`] — the indexed harvest engine: each (vantage, peer, day)
+//!   sighting drawn once into per-vantage bitsets (filled in parallel
+//!   across days), unions answered by OR + popcount, records
+//!   materialized lazily. The naive [`fleet`] path remains the oracle.
 //! * [`population`] — Figs. 2, 3, 4, 5, 6: observed-peer counts by
 //!   vantage configuration, unique-IP census, unknown-IP decomposition.
 //! * [`churn`] — Fig. 7: continuous/intermittent survival curves.
@@ -35,6 +39,7 @@ pub mod bridges;
 pub mod capacity;
 pub mod censor;
 pub mod churn;
+pub mod engine;
 pub mod fleet;
 pub mod geo;
 pub mod ipchurn;
@@ -45,5 +50,6 @@ pub mod statsite;
 pub mod strategies;
 pub mod usability;
 
+pub use engine::HarvestEngine;
 pub use fleet::{Fleet, Vantage, VantageMode};
 pub use observed::ObservedRouterInfo;

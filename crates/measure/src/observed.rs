@@ -5,7 +5,7 @@
 //! I2P's netDb only each node's IP address, hash value, and capacity
 //! information available in RouterInfos."
 
-use i2p_data::{Hash256, PeerIp};
+use i2p_data::{CapsString, Hash256, PeerIp};
 use i2p_geoip::GeoDb;
 use i2p_sim::peer::{PeerRecord, Reach};
 
@@ -17,8 +17,9 @@ pub struct ObservedRouterInfo {
     /// World peer id (used only to key observations; analyses treat it
     /// as an opaque identifier equivalent to the hash).
     pub peer_id: u32,
-    /// The capability letters published that day (e.g. `"OPR"`, `"LfU"`).
-    pub caps: String,
+    /// The capability letters published that day (e.g. `"OPR"`, `"LfU"`),
+    /// stored inline — capture allocates nothing per record.
+    pub caps: CapsString,
     /// Published IPv4 address, if any.
     pub ipv4: Option<PeerIp>,
     /// Published IPv6 address, if any.
@@ -41,7 +42,7 @@ impl ObservedRouterInfo {
         } else {
             (None, None)
         };
-        let mut caps = String::new();
+        let mut caps = CapsString::new();
         // P/X → O compatibility letter for a share of (older) routers,
         // deterministic per peer (§5.3.1).
         let compat_o = matches!(peer.class, i2p_data::BandwidthClass::P | i2p_data::BandwidthClass::X)

@@ -1,9 +1,9 @@
-//! Population analyses: Figs. 2–6.
+//! Population analyses: Figs. 2–6, on the indexed harvest engine.
 
+use crate::engine::HarvestEngine;
 use crate::fleet::{Fleet, Vantage, VantageMode};
-use i2p_data::PeerIp;
+use i2p_data::{FxHashSet, PeerIp};
 use i2p_sim::world::World;
-use std::collections::HashSet;
 
 /// Fig. 2: a single high-end router, five days per mode.
 #[derive(Clone, Debug)]
@@ -19,15 +19,13 @@ pub struct SingleRouterSeries {
 pub fn single_router_experiment(world: &World, salt: u64) -> SingleRouterSeries {
     let ff = Vantage::monitoring(VantageMode::Floodfill, salt);
     let nf = Vantage::monitoring(VantageMode::NonFloodfill, salt);
-    let fleet_ff = Fleet { vantages: vec![ff] };
-    let fleet_nf = Fleet { vantages: vec![nf] };
+    // One single-lane engine per phase: the floodfill half runs days
+    // 0..5, the non-floodfill half days 5..10.
+    let eng_ff = HarvestEngine::with_vantages(world, vec![ff], 0..5);
+    let eng_nf = HarvestEngine::with_vantages(world, vec![nf], 5..10);
     SingleRouterSeries {
-        floodfill: (0..5)
-            .map(|d| (d + 1, fleet_ff.harvest_union(world, d).peer_count()))
-            .collect(),
-        non_floodfill: (5..10)
-            .map(|d| (d + 1, fleet_nf.harvest_union(world, d).peer_count()))
-            .collect(),
+        floodfill: (0..5).map(|d| (d + 1, eng_ff.count_one(0, d))).collect(),
+        non_floodfill: (5..10).map(|d| (d + 1, eng_nf.count_one(0, d))).collect(),
     }
 }
 
@@ -49,26 +47,33 @@ pub struct BandwidthSweepRow {
 pub fn bandwidth_sweep(world: &World, days: std::ops::Range<u64>) -> Vec<BandwidthSweepRow> {
     const BANDWIDTHS: [u32; 7] = [128, 256, 1024, 2048, 3072, 4096, 5120];
     let day_count = days.clone().count().max(1);
+    // All 14 vantages fill one engine; lanes 2i / 2i+1 are the
+    // floodfill / non-floodfill pair at BANDWIDTHS[i], and the pair
+    // union is two lanes OR-ed — no per-day re-harvest, no id sets.
+    let vantages: Vec<Vantage> = BANDWIDTHS
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &b)| {
+            [
+                Vantage { mode: VantageMode::Floodfill, shared_kbps: b, salt: 0x3_000 + i as u64 },
+                Vantage {
+                    mode: VantageMode::NonFloodfill,
+                    shared_kbps: b,
+                    salt: 0x4_000 + i as u64,
+                },
+            ]
+        })
+        .collect();
+    let engine = HarvestEngine::with_vantages(world, vantages, days.clone());
     BANDWIDTHS
         .iter()
         .enumerate()
         .map(|(i, &b)| {
-            let ff = Vantage { mode: VantageMode::Floodfill, shared_kbps: b, salt: 0x3_000 + i as u64 };
-            let nf =
-                Vantage { mode: VantageMode::NonFloodfill, shared_kbps: b, salt: 0x4_000 + i as u64 };
             let (mut sf, mut sn, mut sb) = (0usize, 0usize, 0usize);
             for d in days.clone() {
-                let hf = Fleet { vantages: vec![ff] }.harvest_union(world, d);
-                let hn = Fleet { vantages: vec![nf] }.harvest_union(world, d);
-                let union: HashSet<u32> = hf
-                    .records
-                    .keys()
-                    .chain(hn.records.keys())
-                    .copied()
-                    .collect();
-                sf += hf.peer_count();
-                sn += hn.peer_count();
-                sb += union.len();
+                sf += engine.count_one(2 * i, d);
+                sn += engine.count_one(2 * i + 1, d);
+                sb += engine.count_union_subset(d, &[2 * i, 2 * i + 1]);
             }
             BandwidthSweepRow {
                 shared_kbps: b,
@@ -89,15 +94,16 @@ pub fn cumulative_by_router_count(
 ) -> Vec<(usize, usize)> {
     let fleet = Fleet::alternating(max_routers);
     let day_count = days.clone().count().max(1);
-    (1..=max_routers)
-        .map(|k| {
-            let total: usize = days
-                .clone()
-                .map(|d| fleet.harvest_union_prefix(world, d, k).peer_count())
-                .sum();
-            (k, total / day_count)
-        })
-        .collect()
+    let engine = HarvestEngine::build(world, &fleet, days.clone());
+    // One cumulative-OR pass per day yields the whole 1..=n curve at
+    // once; the naive path re-harvested every (day, prefix) pair.
+    let mut totals = vec![0usize; max_routers];
+    for d in days {
+        for (t, c) in totals.iter_mut().zip(engine.coverage_curve(d)) {
+            *t += c;
+        }
+    }
+    totals.into_iter().enumerate().map(|(i, t)| (i + 1, t / day_count)).collect()
 }
 
 /// One day of the Fig. 5 census.
@@ -121,11 +127,12 @@ pub struct DailyCensus {
 
 /// Fig. 5 + Fig. 6 (single day): full-fleet census of peers and IPs.
 pub fn daily_census(world: &World, fleet: &Fleet, day: u64) -> DailyCensus {
-    let harvest = fleet.harvest_union(world, day);
-    let mut v4: HashSet<PeerIp> = HashSet::new();
-    let mut v6: HashSet<PeerIp> = HashSet::new();
-    let mut census = DailyCensus { peers: harvest.peer_count(), ..Default::default() };
-    for rec in harvest.records.values() {
+    let engine = HarvestEngine::build(world, fleet, day..day + 1);
+    let mut v4: FxHashSet<PeerIp> = FxHashSet::default();
+    let mut v6: FxHashSet<PeerIp> = FxHashSet::default();
+    let mut census = DailyCensus::default();
+    engine.for_each_observation(day, fleet.vantages.len(), |rec| {
+        census.peers += 1;
         if let Some(ip) = rec.ipv4 {
             v4.insert(ip);
         }
@@ -140,7 +147,7 @@ pub fn daily_census(world: &World, fleet: &Fleet, day: u64) -> DailyCensus {
                 census.hidden += 1;
             }
         }
-    }
+    });
     census.ipv4 = v4.len();
     census.ipv6 = v6.len();
     census.all_ips = v4.len() + v6.len();
@@ -150,16 +157,25 @@ pub fn daily_census(world: &World, fleet: &Fleet, day: u64) -> DailyCensus {
 /// Fig. 6's overlap group: peers seen as firewalled on one day and
 /// hidden on another within the window.
 pub fn firewalled_hidden_overlap(world: &World, fleet: &Fleet, days: std::ops::Range<u64>) -> usize {
-    let mut fw: HashSet<u32> = HashSet::new();
-    let mut hid: HashSet<u32> = HashSet::new();
+    let engine = HarvestEngine::build(world, fleet, days.clone());
+    let mut fw: FxHashSet<u32> = FxHashSet::default();
+    let mut hid: FxHashSet<u32> = FxHashSet::default();
     for d in days {
-        for rec in fleet.harvest_union(world, d).records.values() {
-            if rec.is_firewalled() {
-                fw.insert(rec.peer_id);
-            } else if rec.is_hidden() {
-                hid.insert(rec.peer_id);
+        // Membership plus the day's reachability posture suffice — no
+        // record materialization. `reach_on` maps exactly onto the
+        // observation predicates: Firewalled ⇔ `is_firewalled`,
+        // Hidden ⇔ `is_hidden`.
+        engine.for_each_union_peer(d, fleet.vantages.len(), |peer| {
+            match peer.reach_on(d as i64) {
+                i2p_sim::peer::Reach::Firewalled => {
+                    fw.insert(peer.id);
+                }
+                i2p_sim::peer::Reach::Hidden => {
+                    hid.insert(peer.id);
+                }
+                _ => {}
             }
-        }
+        });
     }
     fw.intersection(&hid).count()
 }

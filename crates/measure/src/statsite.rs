@@ -13,9 +13,10 @@
 //! paper's critique can be demonstrated quantitatively against the
 //! world's actual population and the high-profile fleet's view.
 
+use crate::engine::HarvestEngine;
 use crate::fleet::{Fleet, Vantage, VantageMode};
+use i2p_data::FxHashSet;
 use i2p_sim::world::World;
-use std::collections::HashSet;
 
 /// The stats.i2p-style estimate.
 #[derive(Clone, Debug)]
@@ -35,16 +36,17 @@ pub struct StatsSiteEstimate {
 pub fn stats_site_estimate(world: &World, eval_day: u64) -> StatsSiteEstimate {
     // "An average non-floodfill router": default L-class bandwidth.
     let avg = Vantage { mode: VantageMode::NonFloodfill, shared_kbps: 30, salt: 0x57A7 };
-    let avg_fleet = Fleet { vantages: vec![avg] };
     let from = eval_day.saturating_sub(29);
-    let mut uniques: HashSet<u32> = HashSet::new();
+    let engine = HarvestEngine::with_vantages(world, vec![avg], from..eval_day + 1);
+    let mut uniques: FxHashSet<u32> = FxHashSet::default();
     for day in from..=eval_day {
-        for rec in avg_fleet.harvest_union(world, day).records.values() {
-            uniques.insert(rec.peer_id);
+        for id in engine.union_prefix_ids(day, 1) {
+            uniques.insert(id);
         }
     }
-    let daily_view = avg_fleet.harvest_union(world, eval_day).peer_count();
-    let fleet_daily = Fleet::paper_main().harvest_union(world, eval_day).peer_count();
+    let daily_view = engine.count_one(0, eval_day);
+    let fleet_engine = HarvestEngine::build(world, &Fleet::paper_main(), eval_day..eval_day + 1);
+    let fleet_daily = fleet_engine.count_union(eval_day);
     StatsSiteEstimate {
         rolling_30d_uniques: uniques.len(),
         daily_view,

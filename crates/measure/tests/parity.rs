@@ -1,0 +1,150 @@
+//! Engine ↔ oracle parity suite.
+//!
+//! The indexed/bitset/parallel `HarvestEngine` must be *bit-identical*
+//! to the seed's naive per-peer path (`Fleet::harvest_*`, retained as
+//! the oracle): same peer-id sets, same counts, same materialized
+//! records, for every (day, vantage, prefix) — across several
+//! (seed, scale, fleet) combinations. Any divergence means the engine
+//! changed the measurement, not just its cost.
+
+use i2p_measure::censor::censor_blacklist_from_engine;
+use i2p_measure::engine::HarvestEngine;
+use i2p_measure::fleet::Fleet;
+use i2p_sim::world::{World, WorldConfig};
+use std::collections::BTreeSet;
+
+/// (seed, scale, fleet size) grid: small/medium worlds, small fleets,
+/// the paper's 20-router fleet, and an odd-sized one.
+fn combos() -> Vec<(u64, f64, Fleet)> {
+    vec![
+        (3, 0.02, Fleet::alternating(4)),
+        (11, 0.035, Fleet::paper_main()),
+        (61, 0.015, Fleet::alternating(7)),
+    ]
+}
+
+fn ids(h: &i2p_measure::fleet::DailyHarvest) -> BTreeSet<u32> {
+    h.records.keys().copied().collect()
+}
+
+#[test]
+fn union_and_prefix_sets_match_oracle() {
+    for (seed, scale, fleet) in combos() {
+        let world = World::generate(WorldConfig { days: 8, scale, seed });
+        let engine = HarvestEngine::build(&world, &fleet, 0..8);
+        let n = fleet.vantages.len();
+        for day in 0..8 {
+            let naive = fleet.harvest_union(&world, day);
+            assert_eq!(engine.count_union(day), naive.peer_count(), "seed {seed} day {day}");
+            assert_eq!(
+                engine.union_prefix_ids(day, n).into_iter().collect::<BTreeSet<_>>(),
+                ids(&naive),
+                "seed {seed} day {day}"
+            );
+            for k in [1, n / 2, n] {
+                let naive_k = fleet.harvest_union_prefix(&world, day, k);
+                assert_eq!(
+                    engine.count_union_prefix(day, k),
+                    naive_k.peer_count(),
+                    "seed {seed} day {day} k {k}"
+                );
+                assert_eq!(
+                    engine.union_prefix_ids(day, k).into_iter().collect::<BTreeSet<_>>(),
+                    ids(&naive_k),
+                    "seed {seed} day {day} k {k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn per_vantage_lanes_match_oracle() {
+    for (seed, scale, fleet) in combos() {
+        let world = World::generate(WorldConfig { days: 5, scale, seed });
+        let engine = HarvestEngine::build(&world, &fleet, 0..5);
+        for day in [0u64, 2, 4] {
+            for (v, vantage) in fleet.vantages.iter().enumerate() {
+                let naive = fleet.harvest_one(&world, vantage, day);
+                assert_eq!(
+                    engine.count_one(v, day),
+                    naive.peer_count(),
+                    "seed {seed} vantage {v} day {day}"
+                );
+                // Materialized records are equal field-for-field, not
+                // just as id sets (caps, addresses, introducers).
+                assert_eq!(engine.harvest_one(v, day).records, naive.records);
+            }
+        }
+    }
+}
+
+#[test]
+fn materialized_union_records_match_oracle() {
+    let world = World::generate(WorldConfig { days: 6, scale: 0.03, seed: 29 });
+    let fleet = Fleet::paper_main();
+    let engine = HarvestEngine::build(&world, &fleet, 0..6);
+    for day in 0..6 {
+        assert_eq!(engine.harvest_union(day).records, fleet.harvest_union(&world, day).records);
+    }
+    // And the window helper agrees day by day.
+    let windows = engine.harvest_window(1..4);
+    let naive_windows = fleet.harvest_window(&world, 1..4);
+    assert_eq!(windows.len(), naive_windows.len());
+    for (e, o) in windows.iter().zip(&naive_windows) {
+        assert_eq!(e.records, o.records);
+    }
+}
+
+#[test]
+fn coverage_curve_matches_naive_prefix_sweep() {
+    let world = World::generate(WorldConfig { days: 4, scale: 0.02, seed: 101 });
+    let fleet = Fleet::alternating(12);
+    let engine = HarvestEngine::build(&world, &fleet, 0..4);
+    for day in 0..4 {
+        let curve = engine.coverage_curve(day);
+        for k in 1..=12 {
+            assert_eq!(
+                curve[k - 1],
+                fleet.harvest_union_prefix(&world, day, k).peer_count(),
+                "day {day} k {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn censor_blacklist_engine_path_matches_record_path() {
+    // The engine blacklist skips record materialization and reads
+    // addresses straight off the peer; it must equal the oracle's
+    // record-driven set.
+    let world = World::generate(WorldConfig { days: 20, scale: 0.02, seed: 7 });
+    let fleet = Fleet::alternating(10);
+    let engine = HarvestEngine::build(&world, &fleet, 0..20);
+    for (n, window, eval) in [(3usize, 5u64, 15u64), (10, 1, 8), (10, 10, 19)] {
+        let from = eval.saturating_sub(window - 1);
+        let mut oracle: BTreeSet<i2p_data::PeerIp> = BTreeSet::new();
+        for day in from..=eval {
+            for rec in fleet.harvest_union_prefix(&world, day, n).records.values() {
+                oracle.extend(rec.ips());
+            }
+        }
+        let engine_bl: BTreeSet<i2p_data::PeerIp> =
+            censor_blacklist_from_engine(&engine, n, window, eval).into_iter().collect();
+        assert_eq!(engine_bl, oracle, "n {n} window {window} eval {eval}");
+    }
+}
+
+#[test]
+fn engine_is_deterministic_across_builds() {
+    // Two fills (each parallel across days) must agree word-for-word —
+    // the determinism-under-threads contract.
+    let world = World::generate(WorldConfig { days: 10, scale: 0.02, seed: 42 });
+    let fleet = Fleet::paper_main();
+    let a = HarvestEngine::build(&world, &fleet, 0..10);
+    let b = HarvestEngine::build(&world, &fleet, 0..10);
+    for day in 0..10 {
+        assert_eq!(a.union_prefix_ids(day, 20), b.union_prefix_ids(day, 20));
+        assert_eq!(a.coverage_curve(day), b.coverage_curve(day));
+    }
+}

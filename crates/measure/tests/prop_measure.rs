@@ -1,12 +1,11 @@
 //! Property tests over the measurement suite's invariants.
 
-use i2p_data::PeerIp;
+use i2p_data::{FxHashSet, PeerIp};
 use i2p_measure::censor::{blocking_rate, VictimView};
 use i2p_measure::fleet::{Fleet, Vantage, VantageMode};
 use i2p_measure::strategies::{score_strategies, synthetic_mix};
 use i2p_sim::world::{World, WorldConfig};
 use proptest::prelude::*;
-use std::collections::HashSet;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -18,7 +17,7 @@ proptest! {
         let victim = VictimView {
             known_ips: victim_ips.iter().map(|&v| PeerIp::V4(v)).collect(),
         };
-        let small: HashSet<PeerIp> = bl1.iter().map(|&v| PeerIp::V4(v)).collect();
+        let small: FxHashSet<PeerIp> = bl1.iter().map(|&v| PeerIp::V4(v)).collect();
         let mut big = small.clone();
         big.extend(extra.iter().map(|&v| PeerIp::V4(v)));
         let r_small = blocking_rate(&victim, &small);

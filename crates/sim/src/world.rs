@@ -29,6 +29,105 @@ impl WorldConfig {
     }
 }
 
+/// CSR-style per-day index of the online population, built once at
+/// generation time.
+///
+/// `offsets[d]..offsets[d+1]` bounds study day `d`'s slice of `ids`, a
+/// flat list of online peer ids (ascending within each day, because
+/// peers are visited in id order during the build). The presence draws
+/// (`PeerRecord::online`) are evaluated exactly once per (peer, day of
+/// its clamped presence span), so day queries never rescan the long-dead
+/// warm-up population again.
+pub struct DayIndex {
+    /// Study days covered: `[0, days)`.
+    days: u64,
+    /// Per-day bounds into `ids` (length `days + 1`).
+    offsets: Vec<u32>,
+    /// Flat per-day lists of online peer ids.
+    ids: Vec<u32>,
+    /// Ids of peers online on at least one study day, ascending.
+    ever: Vec<u32>,
+}
+
+impl DayIndex {
+    /// Builds the index for study days `[0, days)`.
+    pub fn build(peers: &[PeerRecord], days: u64) -> Self {
+        let nd = days as usize;
+        let mut per_day: Vec<Vec<u32>> = vec![Vec::new(); nd];
+        let mut ever = Vec::new();
+        for p in peers {
+            // The peer's presence span clamped to the study window: the
+            // only days it could possibly be online.
+            let lo = p.join_day.max(0);
+            let hi = p.end_day().min(days as i64);
+            let mut any = false;
+            for d in lo..hi {
+                if p.online(d) {
+                    per_day[d as usize].push(p.id);
+                    any = true;
+                }
+            }
+            if any {
+                ever.push(p.id);
+            }
+        }
+        let mut offsets = Vec::with_capacity(nd + 1);
+        let mut ids = Vec::with_capacity(per_day.iter().map(Vec::len).sum());
+        offsets.push(0u32);
+        for day in &per_day {
+            ids.extend_from_slice(day);
+            offsets.push(ids.len() as u32);
+        }
+        DayIndex { days, offsets, ids, ever }
+    }
+
+    /// Days the index covers.
+    pub fn covered_days(&self) -> u64 {
+        self.days
+    }
+
+    /// The ids online on `day`, or `None` beyond the indexed window.
+    pub fn online_ids(&self, day: u64) -> Option<&[u32]> {
+        if day >= self.days {
+            return None;
+        }
+        let d = day as usize;
+        Some(&self.ids[self.offsets[d] as usize..self.offsets[d + 1] as usize])
+    }
+
+    /// Ids online on at least one indexed day.
+    pub fn ever_ids(&self) -> &[u32] {
+        &self.ever
+    }
+}
+
+/// Iterator over the peers online on one day: an indexed slice walk for
+/// study days, a full presence scan beyond the index's horizon.
+pub struct OnlinePeers<'a>(OnlineIter<'a>);
+
+enum OnlineIter<'a> {
+    Indexed { ids: std::slice::Iter<'a, u32>, peers: &'a [PeerRecord] },
+    Scan { peers: std::slice::Iter<'a, PeerRecord>, day: i64 },
+}
+
+impl<'a> Iterator for OnlinePeers<'a> {
+    type Item = &'a PeerRecord;
+
+    fn next(&mut self) -> Option<&'a PeerRecord> {
+        match &mut self.0 {
+            OnlineIter::Indexed { ids, peers } => ids.next().map(|&id| &peers[id as usize]),
+            OnlineIter::Scan { peers, day } => peers.find(|p| p.online(*day)),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.0 {
+            OnlineIter::Indexed { ids, .. } => ids.size_hint(),
+            OnlineIter::Scan { peers, .. } => (0, peers.size_hint().1),
+        }
+    }
+}
+
 /// The generated world.
 pub struct World {
     /// All peers that ever existed in the simulated span (including
@@ -38,6 +137,8 @@ pub struct World {
     pub geo: GeoDb,
     /// Generation parameters.
     pub config: WorldConfig,
+    /// Per-day online index over the study window.
+    pub index: DayIndex,
 }
 
 impl World {
@@ -58,7 +159,8 @@ impl World {
                 id += 1;
             }
         }
-        World { peers, geo, config }
+        let index = DayIndex::build(&peers, config.days);
+        World { peers, geo, config, index }
     }
 
     /// Total peers ever generated.
@@ -66,26 +168,33 @@ impl World {
         self.peers.len()
     }
 
-    /// Peers online on `day` (0-based study day).
-    pub fn online_peers(&self, day: u64) -> impl Iterator<Item = &PeerRecord> {
-        let d = day as i64;
-        self.peers.iter().filter(move |p| p.online(d))
+    /// The ids of the peers online on `day`, ascending — the indexed
+    /// fast path underneath [`World::online_peers`]. `None` beyond the
+    /// study window.
+    pub fn online_ids(&self, day: u64) -> Option<&[u32]> {
+        self.index.online_ids(day)
     }
 
-    /// Count of peers online on `day`.
+    /// Peers online on `day` (0-based study day).
+    pub fn online_peers(&self, day: u64) -> OnlinePeers<'_> {
+        OnlinePeers(match self.index.online_ids(day) {
+            Some(ids) => OnlineIter::Indexed { ids: ids.iter(), peers: &self.peers },
+            None => OnlineIter::Scan { peers: self.peers.iter(), day: day as i64 },
+        })
+    }
+
+    /// Count of peers online on `day` — O(1) within the study window.
     pub fn online_count(&self, day: u64) -> usize {
-        self.online_peers(day).count()
+        match self.index.online_ids(day) {
+            Some(ids) => ids.len(),
+            None => self.online_peers(day).count(),
+        }
     }
 
     /// Peers that are online on at least one day in `[0, days)` — the
     /// population any measurement could ever observe.
     pub fn ever_online(&self) -> impl Iterator<Item = &PeerRecord> {
-        let days = self.config.days as i64;
-        self.peers.iter().filter(move |p| {
-            let lo = p.join_day.max(0);
-            let hi = p.end_day().min(days);
-            (lo..hi).any(|d| p.online(d))
-        })
+        self.index.ever_ids().iter().map(|&id| &self.peers[id as usize])
     }
 }
 
@@ -146,6 +255,42 @@ mod tests {
         assert_eq!(a.peers[0].hash, b.peers[0].hash);
         let c = World::generate(WorldConfig { days: 10, scale: 0.02, seed: 10 });
         assert_ne!(a.peers[0].hash, c.peers[0].hash);
+    }
+
+    #[test]
+    fn day_index_matches_presence_oracle() {
+        let w = small_world();
+        for day in 0..w.config.days {
+            let naive: Vec<u32> =
+                w.peers.iter().filter(|p| p.online(day as i64)).map(|p| p.id).collect();
+            let indexed: Vec<u32> = w.online_peers(day).map(|p| p.id).collect();
+            assert_eq!(naive, indexed, "day {day}");
+            assert_eq!(w.online_count(day), naive.len());
+        }
+        let naive_ever: Vec<u32> = {
+            let days = w.config.days as i64;
+            w.peers
+                .iter()
+                .filter(|p| {
+                    let lo = p.join_day.max(0);
+                    let hi = p.end_day().min(days);
+                    (lo..hi).any(|d| p.online(d))
+                })
+                .map(|p| p.id)
+                .collect()
+        };
+        let ever: Vec<u32> = w.ever_online().map(|p| p.id).collect();
+        assert_eq!(naive_ever, ever);
+    }
+
+    #[test]
+    fn beyond_index_horizon_falls_back_to_scan() {
+        let w = small_world();
+        let day = w.config.days + 3; // peers can outlive the study window
+        let naive = w.peers.iter().filter(|p| p.online(day as i64)).count();
+        assert!(naive > 0, "some peers outlive the window");
+        assert_eq!(w.online_count(day), naive);
+        assert_eq!(w.online_peers(day).count(), naive);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use i2p_crypto::DetRng;
 use i2p_geoip::GeoDb;
 use i2p_sim::peer::{PeerRecord, PresencePhase, Reach};
+use i2p_sim::world::{World, WorldConfig};
 use proptest::prelude::*;
 
 proptest! {
@@ -71,6 +72,24 @@ proptest! {
         // publishes_ip agrees with the posture.
         let publishes = matches!(r1, Reach::Public | Reach::UnreachablePublished);
         prop_assert_eq!(p.publishes_ip(day), publishes);
+    }
+
+    #[test]
+    fn day_index_matches_online_oracle(seed in 1u64..400, day in 0u64..30) {
+        // `day` ranges past the 20-day study window, exercising both the
+        // indexed fast path and the fallback scan.
+        let w = World::generate(WorldConfig { days: 20, scale: 0.01, seed });
+        let naive: Vec<u32> =
+            w.peers.iter().filter(|p| p.online(day as i64)).map(|p| p.id).collect();
+        let indexed: Vec<u32> = w.online_peers(day).map(|p| p.id).collect();
+        prop_assert_eq!(&naive, &indexed, "day {}", day);
+        prop_assert_eq!(w.online_count(day), naive.len());
+        if let Some(ids) = w.online_ids(day) {
+            prop_assert!(day < w.config.days);
+            prop_assert_eq!(ids, &naive[..]);
+        } else {
+            prop_assert!(day >= w.config.days);
+        }
     }
 
     #[test]
