@@ -3,20 +3,36 @@
 //! The paper proposes (and leaves as future work in §8) using newly
 //! joined peers — optionally combined with firewalled peers — as bridges
 //! for censored users. This bench runs the comparison against a
-//! persistent 10-router censor.
+//! persistent 10-router censor through the scenario lab: one
+//! harvest-engine fill serves every (strategy × horizon) cell.
 
-use i2p_measure::bridges::{compare_strategies, render_bridge_comparison};
+use i2p_measure::bridges::{render_bridge_comparison, sweep_bridges, BridgeScenario, BridgeStrategy};
 use i2p_measure::fleet::Fleet;
 
 fn main() {
     let world = i2p_bench::world(55);
     let fleet = Fleet::alternating(20);
     i2p_bench::emit("Extension: bridge distribution", || {
+        let horizons = [1u64, 5, 10];
+        let scenarios: Vec<BridgeScenario> = horizons
+            .iter()
+            .flat_map(|&horizon| {
+                BridgeStrategy::ALL.iter().map(move |&strategy| BridgeScenario { strategy, horizon })
+            })
+            .collect();
+        let outcomes = sweep_bridges(
+            &world,
+            &fleet,
+            &scenarios,
+            40,
+            200,
+            10,
+            i2p_bench::seed(),
+            i2p_bench::threads(),
+        );
         let mut out = String::new();
-        for horizon in [1u64, 5, 10] {
-            let outcomes =
-                compare_strategies(&world, &fleet, 40, horizon, 200, 10, i2p_bench::seed());
-            out.push_str(&render_bridge_comparison(&outcomes));
+        for chunk in outcomes.chunks(BridgeStrategy::ALL.len()) {
+            out.push_str(&render_bridge_comparison(chunk));
             out.push('\n');
         }
         out

@@ -10,7 +10,7 @@ use i2p_measure::report::render_fig2;
 fn main() {
     let world = i2p_bench::world(10);
     i2p_bench::emit("Figure 2", || {
-        let series = single_router_experiment(&world, 0xF16_02);
+        let series = single_router_experiment(&world, 0xF1602);
         render_fig2(&series)
     });
 }

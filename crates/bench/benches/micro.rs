@@ -100,6 +100,34 @@ fn bench_censor(c: &mut Criterion) {
             bl.is_blocked(black_box(&PeerIp::V4(i % 120_000)), 29)
         })
     });
+
+    // The §7.2 attack whitelists the censor's own routers, and the
+    // fabric consults the whitelist on *every* delivery decision. The
+    // whitelist is a hash set; the Vec scan it replaced is kept below
+    // as the baseline so the win stays visible.
+    let mut wl_bl = BlockList::new(30);
+    for i in 0..100_000u32 {
+        wl_bl.observe(PeerIp::V4(i), (i % 30) as u64);
+    }
+    let whitelisted: Vec<PeerIp> = (0..512u32).map(|i| PeerIp::V4(0x0F00_0000 + i)).collect();
+    for ip in &whitelisted {
+        wl_bl.whitelist(*ip);
+    }
+    assert_eq!(wl_bl.whitelist_len(), whitelisted.len());
+    c.bench_function("blocklist_is_blocked_512_whitelist", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(7919);
+            wl_bl.is_blocked(black_box(&PeerIp::V4(i % 120_000)), 29)
+        })
+    });
+    c.bench_function("whitelist_scan_vec512_baseline", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(7919);
+            whitelisted.contains(black_box(&PeerIp::V4(i % 120_000)))
+        })
+    });
 }
 
 criterion_group!(benches, bench_crypto, bench_netdb, bench_codec, bench_tunnel, bench_censor);

@@ -9,6 +9,12 @@
 //! * `I2PSCOPE_SEED` — master seed (default 20180201).
 //! * `I2PSCOPE_DAYS` — study days for the long-window figures
 //!   (default 89, the paper's three months).
+//! * `I2PSCOPE_THREADS` — scenario-lab sweep threads (default 0 = one
+//!   per core; results are identical for every thread count).
+//! * `I2PSCOPE_REPLICATES` — replicates per sweep point (default 1).
+//!
+//! Malformed values panic with the variable name and the bad value
+//! rather than silently falling back to the default.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,12 +22,26 @@
 use i2p_sim::world::{World, WorldConfig};
 use std::time::Instant;
 
+/// Parses env var `name` as `T`, defaulting when unset.
+///
+/// Malformed values **panic** instead of silently falling back: a typo
+/// like `I2PSCOPE_SCALE=0,1` used to launch a full-scale (hour-long)
+/// run as if the variable were absent.
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match std::env::var(name) {
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            panic!("{name}={v:?} is not a valid {}", std::any::type_name::<T>())
+        }),
+        Err(_) => default,
+    }
+}
+
 fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    env_parse(name, default)
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    env_parse(name, default)
 }
 
 /// The configured scale.
@@ -37,6 +57,17 @@ pub fn seed() -> u64 {
 /// The configured study length.
 pub fn days() -> u64 {
     env_u64("I2PSCOPE_DAYS", 89)
+}
+
+/// Scenario-sweep threads (`I2PSCOPE_THREADS`; 0 = one per core).
+pub fn threads() -> usize {
+    env_parse("I2PSCOPE_THREADS", 0usize)
+}
+
+/// Replicates per sweep point (`I2PSCOPE_REPLICATES`, default 1 —
+/// replicate 0 is always the bit-identical rebuild-equivalent run).
+pub fn replicates() -> usize {
+    env_parse("I2PSCOPE_REPLICATES", 1usize)
 }
 
 /// Generates a world covering `days_needed` study days at the configured

@@ -86,7 +86,7 @@ fn session_key(scalar: u64) -> [u8; 32] {
 impl ElGamalPublic {
     /// Encrypts a raw group element `m ∈ [1, p−1]`.
     pub fn encrypt(&self, m: u64, rng: &mut DetRng) -> ElGamalCiphertext {
-        debug_assert!(m >= 1 && m < MODULUS);
+        debug_assert!((1..MODULUS).contains(&m));
         let k = 2 + rng.next_u64() % (MODULUS - 3);
         ElGamalCiphertext {
             c1: pow_mod(GENERATOR, k, MODULUS),

@@ -159,6 +159,10 @@ impl Caps {
 
     /// Parses a caps string. The *highest* bandwidth letter present is the
     /// true class (inverting the `P/X → O` rule).
+    ///
+    /// Reachability is a single flag: a second `R` or `U` — duplicate or
+    /// contradictory (`"LRU"`) — is rejected rather than letting the
+    /// later letter silently win.
     pub fn parse(s: &str) -> Result<Self, DecodeError> {
         let mut bandwidth: Option<BandwidthClass> = None;
         let mut floodfill = false;
@@ -173,8 +177,12 @@ impl Caps {
             } else {
                 match c {
                     'f' => floodfill = true,
-                    'R' => reachable = Some(true),
-                    'U' => reachable = Some(false),
+                    'R' | 'U' => {
+                        if reachable.is_some() {
+                            return Err(DecodeError::Invalid { what: "caps reachability" });
+                        }
+                        reachable = Some(c == 'R');
+                    }
                     'H' => hidden = true,
                     _ => return Err(DecodeError::Invalid { what: "caps" }),
                 }
@@ -364,6 +372,20 @@ mod tests {
         assert!(Caps::parse("Z").is_err());
         assert!(Caps::parse("").is_err());
         assert!(Caps::parse("fR").is_err()); // no bandwidth letter
+    }
+
+    #[test]
+    fn contradictory_reachability_rejected() {
+        // Regression: "LRU" used to parse as unreachable (the later `U`
+        // silently overrode the earlier `R`).
+        assert!(Caps::parse("LRU").is_err());
+        assert!(Caps::parse("LUR").is_err());
+        // Duplicates are just as malformed.
+        assert!(Caps::parse("LRR").is_err());
+        assert!(Caps::parse("LUU").is_err());
+        // A single flag still parses either way round.
+        assert!(Caps::parse("LR").unwrap().reachable);
+        assert!(!Caps::parse("LU").unwrap().reachable);
     }
 
     #[test]

@@ -96,10 +96,8 @@ mod tests {
         let build = FxBuildHasher::default();
         let hashes: FxHashSet<u64> = (0u32..1000)
             .map(|i| {
-                use std::hash::{BuildHasher, Hash};
-                let mut h = build.build_hasher();
-                i.hash(&mut h);
-                h.finish() >> 48
+                use std::hash::BuildHasher;
+                build.hash_one(i) >> 48
             })
             .collect();
         assert!(hashes.len() > 900, "only {} distinct high-16 patterns", hashes.len());

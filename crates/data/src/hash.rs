@@ -22,8 +22,8 @@ impl Hash256 {
     /// XOR distance to `other` (the Kademlia metric).
     pub fn distance(&self, other: &Hash256) -> Distance {
         let mut d = [0u8; 32];
-        for i in 0..32 {
-            d[i] = self.0[i] ^ other.0[i];
+        for (di, (a, b)) in d.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *di = a ^ b;
         }
         Distance(d)
     }

@@ -12,8 +12,10 @@
 //! attacker-controlled hops — the precondition for the deanonymization
 //! attacks the paper cites.
 
-use crate::censor::{censor_blacklist, victim_view, VictimView};
+use crate::censor::{censor_blacklist, censor_blacklist_from_engine, victim_view, VictimView};
+use crate::engine::HarvestEngine;
 use crate::fleet::Fleet;
+use crate::lab;
 use i2p_crypto::DetRng;
 use i2p_data::FxHashSet;
 use i2p_sim::world::World;
@@ -56,14 +58,23 @@ pub fn attack_setup(
 ) -> (AttackSetup, VictimView, FxHashSet<i2p_data::PeerIp>) {
     let victim = victim_view(world, eval_day, 0x51C);
     let blacklist = censor_blacklist(world, fleet, censor_routers, window_days, eval_day);
+    let setup = setup_for(&victim, &blacklist, n_malicious);
+    (setup, victim, blacklist)
+}
+
+/// The victim-side bookkeeping shared by [`attack_setup`] and
+/// [`run_attack`]: how much of the victim's view survives the blacklist.
+fn setup_for(
+    victim: &VictimView,
+    blacklist: &FxHashSet<i2p_data::PeerIp>,
+    n_malicious: usize,
+) -> AttackSetup {
     let blocked = victim.known_ips.iter().filter(|ip| blacklist.contains(ip)).count();
-    let honest_reachable = victim.known_ips.len() - blocked;
-    let setup = AttackSetup {
-        honest_reachable,
+    AttackSetup {
+        honest_reachable: victim.known_ips.len() - blocked,
         malicious: n_malicious,
         blocking_rate_pct: 100.0 * blocked as f64 / victim.known_ips.len().max(1) as f64,
-    };
-    (setup, victim, blacklist)
+    }
 }
 
 /// Simulates the victim building `n_tunnels` two-hop tunnels from its
@@ -71,6 +82,7 @@ pub fn attack_setup(
 /// whitelisted routers, which advertise high bandwidth and therefore
 /// high selection weight — they are "high-profile" routers by §4.1's
 /// ranking logic).
+#[allow(clippy::too_many_arguments)]
 pub fn simulate_attack(
     world: &World,
     fleet: &Fleet,
@@ -81,8 +93,74 @@ pub fn simulate_attack(
     n_tunnels: usize,
     seed: u64,
 ) -> AttackOutcome {
-    let (setup, victim, blacklist) =
+    let (_, victim, blacklist) =
         attack_setup(world, fleet, eval_day, censor_routers, window_days, n_malicious);
+    run_attack(&victim, &blacklist, n_malicious, n_tunnels, seed)
+}
+
+/// One cell of the §7.2 sweep grid.
+#[derive(Clone, Copy, Debug)]
+pub struct AttackScenario {
+    /// Monitoring routers the censor harvests with.
+    pub censor_routers: usize,
+    /// Blacklist window in days.
+    pub window_days: u64,
+    /// Malicious routers injected and whitelisted.
+    pub n_malicious: usize,
+}
+
+/// Runs a whole §7.2 scenario grid against one shared substrate: the
+/// victim's view is accumulated once and one engine fill (covering the
+/// longest window) serves every blacklist, instead of re-deriving both
+/// per cell as [`simulate_attack`] (kept as the oracle) does. Scenarios
+/// run across the [`lab`] sweep threads; results are identical to the
+/// serial oracle for every thread count.
+pub fn sweep_attacks(
+    world: &World,
+    fleet: &Fleet,
+    eval_day: u64,
+    scenarios: &[AttackScenario],
+    n_tunnels: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<AttackOutcome> {
+    for s in scenarios {
+        assert!(
+            s.window_days >= 1,
+            "AttackScenario: window_days must be at least 1 day, got {}",
+            s.window_days
+        );
+    }
+    let victim = victim_view(world, eval_day, 0x51C);
+    let max_window = scenarios.iter().map(|s| s.window_days).max().unwrap_or(1);
+    let from = eval_day.saturating_sub(max_window - 1);
+    let engine = HarvestEngine::build(world, fleet, from..eval_day + 1);
+    // The blacklist depends on (censor_routers, window_days) only, not
+    // on n_malicious — derive each distinct one exactly once.
+    let mut keys: Vec<(usize, u64)> =
+        scenarios.iter().map(|s| (s.censor_routers, s.window_days)).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let blacklists = lab::sweep(&engine, &keys, threads, |engine, &(routers, window), _| {
+        censor_blacklist_from_engine(engine, routers, window, eval_day)
+    });
+    lab::sweep(&victim, scenarios, threads, |victim, s, _| {
+        let k = keys
+            .binary_search(&(s.censor_routers, s.window_days))
+            .expect("every scenario's blacklist key was precomputed");
+        run_attack(victim, &blacklists[k], s.n_malicious, n_tunnels, seed)
+    })
+}
+
+/// The tunnel-building core shared by the oracle and the sweep.
+fn run_attack(
+    victim: &VictimView,
+    blacklist: &FxHashSet<i2p_data::PeerIp>,
+    n_malicious: usize,
+    n_tunnels: usize,
+    seed: u64,
+) -> AttackOutcome {
+    let setup = setup_for(victim, blacklist, n_malicious);
     let mut rng = DetRng::new(seed ^ 0xA77AC4);
 
     // Honest survivors get the typical L/N-class selection weight; the
@@ -219,6 +297,29 @@ mod tests {
             unblocked.fully_compromised_pct,
             blocked.fully_compromised_pct
         );
+    }
+
+    #[test]
+    fn sweep_matches_per_cell_oracle() {
+        let (w, fleet) = setup();
+        let scenarios = [
+            AttackScenario { censor_routers: 6, window_days: 1, n_malicious: 2 },
+            AttackScenario { censor_routers: 20, window_days: 5, n_malicious: 10 },
+            AttackScenario { censor_routers: 0, window_days: 1, n_malicious: 5 },
+        ];
+        for threads in [1, 4] {
+            let swept = sweep_attacks(&w, &fleet, 35, &scenarios, 800, 9, threads);
+            for (s, got) in scenarios.iter().zip(&swept) {
+                let oracle = simulate_attack(
+                    &w, &fleet, 35, s.censor_routers, s.window_days, s.n_malicious, 800, 9,
+                );
+                assert_eq!(got.setup.honest_reachable, oracle.setup.honest_reachable);
+                assert_eq!(got.setup.blocking_rate_pct, oracle.setup.blocking_rate_pct);
+                assert_eq!(got.fully_compromised_pct, oracle.fully_compromised_pct);
+                assert_eq!(got.partially_compromised_pct, oracle.partially_compromised_pct);
+                assert_eq!(got.tunnels, oracle.tunnels);
+            }
+        }
     }
 
     #[test]

@@ -17,9 +17,12 @@
 //!   fresh peers for immediate access plus firewalled peers (which have
 //!   no blockable address at all) for longevity.
 
-use crate::censor::censor_blacklist;
+use crate::censor::{censor_blacklist, censor_blacklist_from_engine};
+use crate::engine::HarvestEngine;
 use crate::fleet::Fleet;
+use crate::lab;
 use i2p_crypto::DetRng;
+use i2p_data::{FxHashSet, PeerIp};
 use i2p_sim::peer::{PeerRecord, Reach};
 use i2p_sim::world::World;
 
@@ -94,6 +97,7 @@ pub struct BridgeOutcome {
 /// A *firewalled* bridge counts as usable as long as the peer is alive:
 /// it has no public address for the censor to block (§7.1). A published
 /// bridge survives until its current IP lands on the blacklist.
+#[allow(clippy::too_many_arguments)]
 pub fn evaluate_strategy(
     world: &World,
     fleet: &Fleet,
@@ -104,12 +108,6 @@ pub fn evaluate_strategy(
     censor_routers: usize,
     seed: u64,
 ) -> BridgeOutcome {
-    let mut rng = DetRng::new(seed ^ 0xB121D6E);
-    let mut candidates = strategy.candidates(world, start_day);
-    rng.shuffle(&mut candidates);
-    candidates.truncate(n_bridges);
-    let distributed = candidates.len();
-
     // The censor's deployed blacklist lags observation by one day: the
     // rules active on day D were compiled from harvests through D − 1.
     // This lag is precisely why "newly joined [peers] are less likely
@@ -117,8 +115,79 @@ pub fn evaluate_strategy(
     let bl_day0 = censor_blacklist(world, fleet, censor_routers, 30, start_day - 1);
     let end_day = start_day + horizon;
     let bl_end = censor_blacklist(world, fleet, censor_routers, 30 + horizon, end_day - 1);
+    evaluate_strategy_with(world, strategy, start_day, horizon, n_bridges, seed, &bl_day0, &bl_end)
+}
 
-    let usable = |peer: &PeerRecord, day: u64, bl: &i2p_data::FxHashSet<i2p_data::PeerIp>| -> bool {
+/// One cell of a bridge-strategy sweep grid.
+#[derive(Clone, Copy, Debug)]
+pub struct BridgeScenario {
+    /// The distribution strategy.
+    pub strategy: BridgeStrategy,
+    /// Days of continued censor monitoring after distribution.
+    pub horizon: u64,
+}
+
+/// Runs a (strategy × horizon) grid against one shared engine fill
+/// instead of re-harvesting two blacklists per cell as
+/// [`evaluate_strategy`] (kept as the oracle) does. Scenarios run
+/// across the [`lab`] sweep threads; results are identical to the
+/// serial oracle for every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_bridges(
+    world: &World,
+    fleet: &Fleet,
+    scenarios: &[BridgeScenario],
+    start_day: u64,
+    n_bridges: usize,
+    censor_routers: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<BridgeOutcome> {
+    let max_h = scenarios.iter().map(|s| s.horizon).max().unwrap_or(1);
+    let from = start_day.saturating_sub(30);
+    let engine = HarvestEngine::build(world, fleet, from..start_day + max_h);
+    // The day-0 blacklist is scenario-independent and the horizon one
+    // depends only on `horizon`, not on the strategy — derive each
+    // distinct blacklist exactly once instead of per grid cell.
+    let bl_day0 = censor_blacklist_from_engine(&engine, censor_routers, 30, start_day - 1);
+    let mut horizons: Vec<u64> = scenarios.iter().map(|s| s.horizon).collect();
+    horizons.sort_unstable();
+    horizons.dedup();
+    let bl_ends = lab::sweep(&engine, &horizons, threads, |engine, &h, _| {
+        censor_blacklist_from_engine(engine, censor_routers, 30 + h, start_day + h - 1)
+    });
+    lab::sweep(&bl_day0, scenarios, threads, |bl_day0, s, _| {
+        let h = horizons
+            .binary_search(&s.horizon)
+            .expect("every scenario's horizon blacklist was precomputed");
+        evaluate_strategy_with(
+            world, s.strategy, start_day, s.horizon, n_bridges, seed, bl_day0, &bl_ends[h],
+        )
+    })
+}
+
+/// The distribution-and-survival core shared by the oracle and the
+/// sweep: hand out bridges on `start_day`, check usability against the
+/// day-0 and horizon blacklists.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_strategy_with(
+    world: &World,
+    strategy: BridgeStrategy,
+    start_day: u64,
+    horizon: u64,
+    n_bridges: usize,
+    seed: u64,
+    bl_day0: &FxHashSet<PeerIp>,
+    bl_end: &FxHashSet<PeerIp>,
+) -> BridgeOutcome {
+    let mut rng = DetRng::new(seed ^ 0xB121D6E);
+    let mut candidates = strategy.candidates(world, start_day);
+    rng.shuffle(&mut candidates);
+    candidates.truncate(n_bridges);
+    let distributed = candidates.len();
+    let end_day = start_day + horizon;
+
+    let usable = |peer: &PeerRecord, day: u64, bl: &FxHashSet<PeerIp>| -> bool {
         let d = day as i64;
         if !peer.online(d) {
             return false;
@@ -131,8 +200,8 @@ pub fn evaluate_strategy(
         }
     };
 
-    let day0 = candidates.iter().filter(|p| usable(p, start_day, &bl_day0)).count();
-    let after = candidates.iter().filter(|p| usable(p, end_day, &bl_end)).count();
+    let day0 = candidates.iter().filter(|p| usable(p, start_day, bl_day0)).count();
+    let after = candidates.iter().filter(|p| usable(p, end_day, bl_end)).count();
     BridgeOutcome {
         strategy,
         distributed,
@@ -242,6 +311,29 @@ mod tests {
         // 100 even before blacklisting.
         let o = evaluate_strategy(&w, &fleet, BridgeStrategy::RandomKnown, 35, 5, 200, 20, 4);
         assert!(o.usable_day0_pct < 70.0, "random strategy usability {:.1}%", o.usable_day0_pct);
+    }
+
+    #[test]
+    fn sweep_matches_per_cell_oracle() {
+        let (w, fleet) = setup();
+        let scenarios: Vec<BridgeScenario> = [1u64, 5, 10]
+            .iter()
+            .flat_map(|&h| {
+                BridgeStrategy::ALL.iter().map(move |&s| BridgeScenario { strategy: s, horizon: h })
+            })
+            .collect();
+        for threads in [1, 3] {
+            let swept = sweep_bridges(&w, &fleet, &scenarios, 35, 60, 10, 2, threads);
+            for (s, got) in scenarios.iter().zip(&swept) {
+                let oracle =
+                    evaluate_strategy(&w, &fleet, s.strategy, 35, s.horizon, 60, 10, 2);
+                assert_eq!(got.strategy, oracle.strategy);
+                assert_eq!(got.distributed, oracle.distributed);
+                assert_eq!(got.usable_day0_pct, oracle.usable_day0_pct);
+                assert_eq!(got.usable_after_pct, oracle.usable_after_pct);
+                assert_eq!(got.horizon, oracle.horizon);
+            }
+        }
     }
 
     #[test]

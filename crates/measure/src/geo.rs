@@ -56,7 +56,7 @@ pub fn country_distribution(world: &World, fleet: &Fleet, days: std::ops::Range<
     }
     let total: usize = per_country.values().sum();
     let mut items: Vec<(usize, usize)> = per_country.into_iter().collect();
-    items.sort_by(|a, b| b.1.cmp(&a.1));
+    items.sort_by_key(|item| std::cmp::Reverse(item.1));
     let mut cum = 0usize;
     let mut censored_peers = 0;
     let mut censored_countries = 0;
@@ -105,7 +105,7 @@ pub fn as_distribution(world: &World, fleet: &Fleet, days: std::ops::Range<u64>)
     }
     let total: usize = per_as.values().sum();
     let mut items: Vec<(u32, usize)> = per_as.into_iter().collect();
-    items.sort_by(|a, b| b.1.cmp(&a.1));
+    items.sort_by_key(|item| std::cmp::Reverse(item.1));
     let mut cum = 0usize;
     let rows = items
         .iter()

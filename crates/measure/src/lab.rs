@@ -1,0 +1,112 @@
+//! The scenario lab's sweep driver.
+//!
+//! Protocol-level experiments (Fig. 14 usability, the §7.2 attack,
+//! bridge strategies) are grids of *scenarios* evaluated against one
+//! shared, read-only *substrate* — a warmed [`i2p_router::TestNet`], a
+//! pre-filled [`crate::engine::HarvestEngine`], or both. The driver runs
+//! such a grid across `std::thread::scope` workers:
+//!
+//! * **Work stealing, deterministic results.** Workers pull scenario
+//!   indices from a shared atomic counter (scenarios have wildly uneven
+//!   costs — a 0 % blocking rate finishes in a few simulated seconds, a
+//!   97 % one burns full timeouts), but every scenario is a pure
+//!   function of `(substrate, scenario, index)`, so the assembled result
+//!   vector is identical for any thread count or scheduling order. The
+//!   determinism suite in `tests/scenario_lab.rs` pins 1-thread ≡
+//!   N-thread equality.
+//! * **Inline fallback.** With one thread (or one scenario) the driver
+//!   runs inline in index order — no spawn overhead, same results.
+//!
+//! The closure usually *forks* the substrate per scenario (e.g.
+//! [`i2p_router::TestNet::fork`]) rather than mutating it; the driver
+//! only hands out shared references.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Threads to use when the caller passes 0: one per available core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `run(substrate, scenario, index)` for every scenario and returns
+/// the results in scenario order. `threads == 0` means one per core;
+/// results are bit-identical for every thread count.
+pub fn sweep<S, P, R, F>(substrate: &S, scenarios: &[P], threads: usize, run: F) -> Vec<R>
+where
+    S: Sync,
+    P: Sync,
+    R: Send,
+    F: Fn(&S, &P, usize) -> R + Sync,
+{
+    let threads = if threads == 0 { default_threads() } else { threads };
+    let threads = threads.min(scenarios.len().max(1));
+    if threads <= 1 {
+        return scenarios
+            .iter()
+            .enumerate()
+            .map(|(i, p)| run(substrate, p, i))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= scenarios.len() {
+                            break;
+                        }
+                        out.push((i, run(substrate, &scenarios[i], i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = scenarios.iter().map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every scenario index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_scenario_order() {
+        let scenarios: Vec<u64> = (0..37).collect();
+        let out = sweep(&7u64, &scenarios, 4, |s, p, i| {
+            assert_eq!(*p, i as u64);
+            s + p * 2
+        });
+        assert_eq!(out, (0..37).map(|p| 7 + p * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let scenarios: Vec<u64> = (0..23).collect();
+        let run = |s: &u64, p: &u64, _i: usize| s.wrapping_mul(0x9E37).wrapping_add(*p);
+        let one = sweep(&3u64, &scenarios, 1, run);
+        let many = sweep(&3u64, &scenarios, 8, run);
+        let auto = sweep(&3u64, &scenarios, 0, run);
+        assert_eq!(one, many);
+        assert_eq!(one, auto);
+    }
+
+    #[test]
+    fn empty_grid_is_empty() {
+        let out: Vec<u32> = sweep(&(), &[] as &[u8], 0, |_, _, _| 1u32);
+        assert!(out.is_empty());
+    }
+}

@@ -28,6 +28,11 @@
 //!   blacklist windows (§6.2).
 //! * [`usability`] — Fig. 14: eepsite page-load latency and timeout rate
 //!   under null-routing (§6.2.3), on the protocol-level `TestNet`.
+//! * [`lab`] — the scenario lab's sweep driver: warm a substrate once,
+//!   fork it per scenario, run scenario grids across threads with
+//!   thread-count-independent results (DESIGN.md §6).
+//! * [`closedloop`] — the Fig. 13 → Fig. 14 closed loop: the harvested
+//!   windowed blacklist drives the protocol-level censor.
 //! * [`report`] — text renderers that print each figure/table in the
 //!   paper's layout.
 
@@ -39,10 +44,12 @@ pub mod bridges;
 pub mod capacity;
 pub mod censor;
 pub mod churn;
+pub mod closedloop;
 pub mod engine;
 pub mod fleet;
 pub mod geo;
 pub mod ipchurn;
+pub mod lab;
 pub mod observed;
 pub mod population;
 pub mod report;
@@ -53,3 +60,4 @@ pub mod usability;
 pub use engine::HarvestEngine;
 pub use fleet::{Fleet, Vantage, VantageMode};
 pub use observed::ObservedRouterInfo;
+pub use usability::WarmSubstrate;

@@ -192,7 +192,7 @@ mod tests {
     #[test]
     fn fig2_modes_comparable_and_stable() {
         let w = world();
-        let s = single_router_experiment(&w, 0xF16_2);
+        let s = single_router_experiment(&w, 0xF162);
         assert_eq!(s.floodfill.len(), 5);
         assert_eq!(s.non_floodfill.len(), 5);
         // Both modes observe a large, similar population (Fig. 2 shows

@@ -239,15 +239,23 @@ pub fn render_fig13(series: &[BlockingSeries]) -> String {
     out
 }
 
-/// Fig. 14 renderer.
+/// Fig. 14 renderer. The ± columns are 95 % confidence half-widths
+/// pooled over the point's fetches and replicates.
 pub fn render_fig14(points: &[UsabilityPoint]) -> String {
     let mut out = header("Figure 14: timeouts and page-load latency under blockage");
+    let reps = points.first().map_or(1, |p| p.replicates);
+    let fetches = points.first().map_or(0, |p| p.fetches.len());
+    let _ = writeln!(out, "({fetches} fetches per rate across {reps} replicate(s))");
     out.push_str("blocking   timed-out requests   page load time\n");
     for p in points {
         let _ = writeln!(
             out,
-            "{:>7.0}%   {:>17.0}%   {:>12.1} s",
-            p.blocking_rate_pct, p.timeout_pct, p.avg_load_time_s
+            "{:>7.0}%   {:>11.0}% ±{:>4.1}   {:>7.1} ±{:>4.1} s",
+            p.blocking_rate_pct,
+            p.timeout_pct,
+            p.timeout_ci95_pct,
+            p.avg_load_time_s,
+            p.load_ci95_s
         );
     }
     out
@@ -283,9 +291,13 @@ mod tests {
             blocking_rate_pct: 65.0,
             avg_load_time_s: 21.5,
             timeout_pct: 40.0,
+            load_ci95_s: 3.2,
+            timeout_ci95_pct: 9.8,
+            replicates: 3,
             fetches: vec![],
         }]);
-        assert!(fig14.contains("21.5 s"));
-        assert!(fig14.contains("40%"));
+        assert!(fig14.contains("21.5 ± 3.2 s"));
+        assert!(fig14.contains("40% ± 9.8"));
+        assert!(fig14.contains("3 replicate"));
     }
 }

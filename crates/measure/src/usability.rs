@@ -5,13 +5,26 @@
 //! its upstream null-routes a growing share of peer IPs. Page-load time
 //! and HTTP-504 timeout rates emerge from real tunnel-build retries,
 //! LeaseSet lookups and garlic round trips — nothing here is a formula.
+//!
+//! ## The scenario lab (DESIGN.md §6)
+//!
+//! The warm-up — bootstrap, publication, a 30 s settle — is identical
+//! for every blocking rate, so [`evaluate`] builds it **once** as a
+//! [`WarmSubstrate`] and forks the network per `(rate, replicate)`
+//! scenario via the [`crate::lab`] sweep driver. Replicate 0 of each
+//! rate continues the parent RNG stream unchanged, so a single-threaded
+//! default sweep is bit-identical to the rebuild-from-scratch oracle
+//! ([`run_one_rate`], retained and pinned by `tests/scenario_lab.rs`);
+//! replicates ≥ 1 re-split the RNG per [`i2p_router::TestNet::fork`]
+//! and feed the confidence intervals on each point.
 
+use crate::lab;
 use i2p_data::{Duration, Hash256, PeerIp};
 use i2p_router::config::{FloodfillMode, Reachability, RouterConfig};
 use i2p_router::net::AppEvent;
 use i2p_router::router::Eepsite;
 use i2p_router::{NetMsg, TestNet};
-use i2p_transport::BlockList;
+use i2p_transport::{BlockList, CensorMode};
 use i2p_tunnel::pool::TunnelDirection;
 
 /// Experiment configuration.
@@ -26,6 +39,17 @@ pub struct UsabilityConfig {
     pub fetches_per_rate: usize,
     /// Blocking rates to evaluate (fraction, e.g. 0.65).
     pub blocking_rates: Vec<f64>,
+    /// Independent replicates per rate (each on a re-split RNG fork of
+    /// the same warmed substrate); replicate 0 reproduces the rebuild
+    /// path exactly, further replicates widen the sample behind the
+    /// confidence intervals.
+    pub replicates: usize,
+    /// Sweep threads (0 = one per core). Results are identical for
+    /// every thread count.
+    pub threads: usize,
+    /// How the censor disposes of blocked traffic (silent null route
+    /// vs. fail-fast active reset).
+    pub censor_mode: CensorMode,
     /// HTTP timeout after which a fetch counts as a 504 (§6.2.3).
     pub request_timeout: Duration,
     /// Tunnel-build / lookup attempt timeout.
@@ -44,9 +68,42 @@ impl Default for UsabilityConfig {
                 0.0, 0.65, 0.67, 0.69, 0.71, 0.73, 0.75, 0.77, 0.79, 0.81, 0.83, 0.85, 0.87,
                 0.89, 0.91, 0.93, 0.95, 0.97,
             ],
+            replicates: 1,
+            threads: 0,
+            censor_mode: CensorMode::NullRoute,
             request_timeout: Duration::from_secs(60),
             attempt_timeout: Duration::from_secs(10),
-            seed: 0xF16_14,
+            seed: 0xF1614,
+        }
+    }
+}
+
+impl UsabilityConfig {
+    /// Validates the configuration, panicking with a pointed message on
+    /// nonsense that would otherwise surface as silent `NaN`s (zero
+    /// fetches) or a stuck experiment (no floodfills to publish to,
+    /// blocking rates outside `[0, 1]`).
+    pub fn validate(&self) {
+        assert!(
+            self.fetches_per_rate > 0,
+            "UsabilityConfig::fetches_per_rate must be > 0 \
+             (0 fetches would make every timeout percentage 0/0 = NaN)"
+        );
+        assert!(
+            self.relays >= self.floodfills,
+            "UsabilityConfig: floodfills ({}) exceed relays ({}) — floodfills \
+             are carved out of the relay population",
+            self.floodfills,
+            self.relays
+        );
+        assert!(self.floodfills > 0, "UsabilityConfig: at least one floodfill is required");
+        assert!(self.replicates > 0, "UsabilityConfig::replicates must be > 0");
+        for &r in &self.blocking_rates {
+            assert!(
+                (0.0..=1.0).contains(&r) && r.is_finite(),
+                "UsabilityConfig: blocking rate {r} is outside [0, 1] \
+                 (rates are fractions, not percentages)"
+            );
         }
     }
 }
@@ -61,23 +118,99 @@ pub struct UsabilityPoint {
     pub avg_load_time_s: f64,
     /// Share of fetches that returned HTTP 504 (timed out).
     pub timeout_pct: f64,
-    /// Raw per-fetch outcomes (seconds, None = 504).
+    /// Half-width of the 95 % confidence interval on the mean load
+    /// time (1.96·SE over completed fetches; 0 with < 2 completions).
+    pub load_ci95_s: f64,
+    /// Half-width of the 95 % normal-approximation confidence interval
+    /// on the timeout share, in percentage points.
+    pub timeout_ci95_pct: f64,
+    /// Replicates pooled into this point.
+    pub replicates: usize,
+    /// Raw per-fetch outcomes (seconds, None = 504), replicate-major.
     pub fetches: Vec<Option<f64>>,
 }
 
-/// Runs the full Fig. 14 sweep. Every rate re-runs on an identically
-/// seeded network, so the blocked IP sets are *nested* as the rate grows
-/// — the x-axis varies only the blocking rate, exactly like the paper's
-/// progressive null-route configuration (§6.2.3).
+/// A bootstrapped, published, settled `TestNet` plus the experiment's
+/// cast — everything of [`run_one_rate`] that does not depend on the
+/// blocking rate, built once and forked per scenario.
+pub struct WarmSubstrate {
+    /// The warmed network.
+    pub net: TestNet,
+    /// Router index hosting the eepsite.
+    pub server: usize,
+    /// Router index of the censored victim client.
+    pub victim: usize,
+    /// The eepsite destination hash.
+    pub dest: Hash256,
+    /// Relay count (the blockable population).
+    pub relays: usize,
+}
+
+/// Runs the full Fig. 14 sweep on one shared substrate: warm-up happens
+/// once, then every `(rate, replicate)` scenario runs on a fork. Every
+/// fork starts from the identical warmed state, so the blocked IP sets
+/// are *nested* as the rate grows — the x-axis varies only the blocking
+/// rate, exactly like the paper's progressive null-route configuration
+/// (§6.2.3).
 pub fn evaluate(cfg: &UsabilityConfig) -> Vec<UsabilityPoint> {
-    cfg.blocking_rates
+    cfg.validate();
+    let sub = warm_substrate(cfg);
+    evaluate_on(&sub, cfg)
+}
+
+/// [`evaluate`] against an existing warm substrate.
+pub fn evaluate_on(sub: &WarmSubstrate, cfg: &UsabilityConfig) -> Vec<UsabilityPoint> {
+    cfg.validate();
+    let grid: Vec<(f64, usize)> = cfg
+        .blocking_rates
         .iter()
-        .map(|&rate| run_one_rate(cfg, rate, cfg.seed))
+        .flat_map(|&rate| (0..cfg.replicates).map(move |rep| (rate, rep)))
+        .collect();
+    let runs = lab::sweep(sub, &grid, cfg.threads, |sub, &(rate, rep), _| {
+        run_scenario(sub, cfg, rate, rep)
+    });
+    runs.chunks(cfg.replicates)
+        .map(|reps| {
+            let rate_pct = reps[0].blocking_rate_pct;
+            let pooled: Vec<Option<f64>> =
+                reps.iter().flat_map(|p| p.fetches.iter().copied()).collect();
+            point_from_fetches(rate_pct, cfg, pooled, cfg.replicates)
+        })
         .collect()
 }
 
-/// Runs one blocking rate.
+/// Builds the rate-independent substrate: relays + server + victim,
+/// bootstrapped, published, settled for 30 s, with the victim primed as
+/// a long-term client.
+pub fn warm_substrate(cfg: &UsabilityConfig) -> WarmSubstrate {
+    cfg.validate();
+    warm_substrate_with_seed(cfg, cfg.seed)
+}
+
+/// One `(rate, replicate)` scenario on a fork of the warm substrate.
+/// Replicate 0 continues the substrate's own RNG stream (bit-identical
+/// to rebuilding from scratch); higher replicates re-split it.
+pub fn run_scenario(
+    sub: &WarmSubstrate,
+    cfg: &UsabilityConfig,
+    rate: f64,
+    replicate: usize,
+) -> UsabilityPoint {
+    let net = if replicate == 0 { sub.net.clone() } else { sub.net.fork(replicate as u64) };
+    run_rate_on_net(net, sub, cfg, rate, cfg.seed)
+}
+
+/// Runs one blocking rate the pre-lab way: rebuild, reseed and re-warm
+/// a whole network, then censor it. Kept as the scenario lab's oracle —
+/// `tests/scenario_lab.rs` holds the forked path bit-identical to this.
 pub fn run_one_rate(cfg: &UsabilityConfig, rate: f64, seed: u64) -> UsabilityPoint {
+    cfg.validate();
+    let sub = warm_substrate_with_seed(cfg, seed);
+    let net = sub.net.clone();
+    run_rate_on_net(net, &sub, cfg, rate, seed)
+}
+
+fn warm_substrate_with_seed(cfg: &UsabilityConfig, seed: u64) -> WarmSubstrate {
     let mut net = TestNet::new(seed);
     // Relay substrate.
     for i in 0..cfg.relays {
@@ -115,46 +248,129 @@ pub fn run_one_rate(cfg: &UsabilityConfig, rate: f64, seed: u64) -> UsabilityPoi
         net.router_mut(victim).learn_router(ri, now);
     }
 
+    let dest = net.router(server).hash();
+    WarmSubstrate { net, server, victim, dest, relays: cfg.relays }
+}
+
+/// The rate-dependent tail of the experiment: censor installation,
+/// server maintenance, and the fetch loop. Shared verbatim by the
+/// rebuild oracle and the forked scenarios.
+fn run_rate_on_net(
+    mut net: TestNet,
+    sub: &WarmSubstrate,
+    cfg: &UsabilityConfig,
+    rate: f64,
+    seed: u64,
+) -> UsabilityPoint {
     // Install the censor: a random `rate` share of relay IPs, scoped to
-    // the victim's uplink (null routing, §6.2.3).
+    // the victim's uplink (null routing or active reset, §6.2.3).
     let mut rng = net.fork_rng(0xB10C ^ seed);
-    let victim_ip = net.source_ip(victim);
+    let victim_ip = net.source_ip(sub.victim);
     let mut bl = BlockList::new(3650);
-    let mut relay_ips: Vec<PeerIp> = (0..cfg.relays).map(|i| net.source_ip(i)).collect();
+    let mut relay_ips: Vec<PeerIp> = (0..sub.relays).map(|i| net.source_ip(i)).collect();
     rng.shuffle(&mut relay_ips);
-    let n_block = (rate * cfg.relays as f64).round() as usize;
+    let n_block = (rate * sub.relays as f64).round() as usize;
     for ip in relay_ips.into_iter().take(n_block) {
         bl.observe(ip, 0);
     }
     net.fabric.set_blocklist(bl);
     net.fabric.set_victim(victim_ip);
+    net.fabric.set_censor_mode(cfg.censor_mode);
+    let fetches = censored_fetches(&mut net, sub.server, sub.victim, &sub.dest, cfg, &mut rng);
+    point_from_fetches(rate * 100.0, cfg, fetches, 1)
+}
 
+/// Runs the fetch phase on a fork of the substrate under an arbitrary
+/// pre-built blocklist — the closed-loop path, where Fig. 13's
+/// harvested, windowed blacklist replaces the synthetic random rate.
+/// `blocking_rate_pct` labels the point with the share of relays the
+/// list actually blocks.
+pub fn run_with_blocklist(
+    sub: &WarmSubstrate,
+    cfg: &UsabilityConfig,
+    bl: BlockList,
+    blocking_rate_pct: f64,
+    replicate: usize,
+) -> UsabilityPoint {
+    cfg.validate();
+    let mut net = if replicate == 0 { sub.net.clone() } else { sub.net.fork(replicate as u64) };
+    let mut rng = net.fork_rng(0xC105_ED00 ^ cfg.seed);
+    let victim_ip = net.source_ip(sub.victim);
+    net.fabric.set_blocklist(bl);
+    net.fabric.set_victim(victim_ip);
+    net.fabric.set_censor_mode(cfg.censor_mode);
+    let fetches = censored_fetches(&mut net, sub.server, sub.victim, &sub.dest, cfg, &mut rng);
+    point_from_fetches(blocking_rate_pct, cfg, fetches, 1)
+}
+
+/// Runs the fetch loop against an already-censored network and returns
+/// the raw per-fetch outcomes.
+fn censored_fetches(
+    net: &mut TestNet,
+    server: usize,
+    victim: usize,
+    dest: &Hash256,
+    cfg: &UsabilityConfig,
+    rng: &mut i2p_crypto::DetRng,
+) -> Vec<Option<f64>> {
     // Server keeps healthy tunnels + a published LeaseSet (the server
     // sits outside the censored uplink).
-    maintain_server(&mut net, server, &mut rng);
+    maintain_server(net, server, rng);
 
-    let dest = net.router(server).hash();
     let mut fetches = Vec::with_capacity(cfg.fetches_per_rate);
     for _ in 0..cfg.fetches_per_rate {
-        maintain_server(&mut net, server, &mut rng);
-        let t = fetch_once(&mut net, victim, &dest, cfg, &mut rng);
+        maintain_server(net, server, rng);
+        // Each crawl is an independent page load: the paper's crawls are
+        // spaced beyond I2P's 10-minute tunnel rotation, so no client
+        // tunnel — and no hop choice — survives from one crawl to the
+        // next, and every crawl re-samples the censored relay space.
+        // Without the rotation, one lucky unblocked tunnel pair from the
+        // first crawl would serve the entire run and make moderate
+        // blocking rates measure exactly like the unblocked baseline.
+        net.router_mut(victim).inbound.drop_all();
+        net.router_mut(victim).outbound.drop_all();
+        let t = fetch_once(net, victim, dest, cfg, rng);
         fetches.push(t);
         // Think time between page loads.
         let gap = net.now() + Duration::from_secs(5);
         net.run_until(gap);
     }
+    fetches
+}
 
+/// Aggregates raw fetch outcomes into a [`UsabilityPoint`] with 95 %
+/// confidence intervals (mean load time: 1.96·SE over completed
+/// fetches; timeout share: normal-approximation binomial).
+fn point_from_fetches(
+    rate_pct: f64,
+    cfg: &UsabilityConfig,
+    fetches: Vec<Option<f64>>,
+    replicates: usize,
+) -> UsabilityPoint {
     let completed: Vec<f64> = fetches.iter().flatten().copied().collect();
-    let timeout_pct = 100.0 * (fetches.len() - completed.len()) as f64 / fetches.len() as f64;
+    let n = fetches.len();
+    let timeout_share = (n - completed.len()) as f64 / n as f64;
     let avg = if completed.is_empty() {
         cfg.request_timeout.as_secs_f64()
     } else {
         completed.iter().sum::<f64>() / completed.len() as f64
     };
+    let load_ci95_s = if completed.len() >= 2 {
+        let m = completed.len() as f64;
+        let var = completed.iter().map(|x| (x - avg) * (x - avg)).sum::<f64>() / (m - 1.0);
+        1.96 * (var / m).sqrt()
+    } else {
+        0.0
+    };
+    let timeout_ci95_pct =
+        100.0 * 1.96 * (timeout_share * (1.0 - timeout_share) / n as f64).sqrt();
     UsabilityPoint {
-        blocking_rate_pct: rate * 100.0,
+        blocking_rate_pct: rate_pct,
         avg_load_time_s: avg,
-        timeout_pct,
+        timeout_pct: 100.0 * timeout_share,
+        load_ci95_s,
+        timeout_ci95_pct,
+        replicates,
         fetches,
     }
 }
@@ -220,8 +436,10 @@ fn fetch_once(
             }
         }
         // Wait in short slices, breaking as soon as one build lands (a
-        // successful build resolves in one RTT; only failures burn the
-        // whole attempt timeout).
+        // successful build resolves in one RTT) or every launched build
+        // has already failed — a refusal reply or an active-reset RST
+        // resolves a build long before the attempt timeout; only
+        // *silent* failures (null routing) burn the whole attempt.
         let attempt_deadline = (started + cfg.attempt_timeout).min(deadline);
         loop {
             let now = net.now();
@@ -233,7 +451,9 @@ fn fetch_once(
                 TunnelDirection::Outbound => net.router(victim).outbound.live_count(net.now()) > 0,
                 TunnelDirection::Inbound => net.router(victim).inbound.live_count(net.now()) > 0,
             };
-            if done {
+            let all_resolved = !launched.is_empty()
+                && launched.iter().all(|id| !net.router(victim).build_pending(*id));
+            if done || all_resolved {
                 break;
             }
         }

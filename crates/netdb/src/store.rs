@@ -14,8 +14,7 @@
 
 use crate::messages::NetDbPayload;
 use crate::routing_key::RoutingKey;
-use i2p_data::{Duration, Hash256, LeaseSet, RouterInfo, SimTime};
-use std::collections::HashMap;
+use i2p_data::{Duration, FxHashMap, Hash256, LeaseSet, RouterInfo, SimTime};
 
 /// How many floodfills a record is published/flooded to (§4.2).
 pub const REPLICATION: usize = 3;
@@ -42,10 +41,17 @@ pub struct StoredEntry {
 }
 
 /// The local netDb store of one router.
+///
+/// Both maps use the deterministic [`FxHashMap`]: iteration order feeds
+/// tunnel hop selection via `router_infos()`, so a randomly seeded
+/// hasher (std's `RandomState`) would make two identically-seeded
+/// experiment runs pick different tunnels — the scenario lab's
+/// fork-vs-rebuild bit-identity depends on this being a pure function
+/// of the insertion sequence.
 #[derive(Clone, Debug, Default)]
 pub struct NetDbStore {
-    router_infos: HashMap<Hash256, StoredEntry>,
-    lease_sets: HashMap<Hash256, StoredEntry>,
+    router_infos: FxHashMap<Hash256, StoredEntry>,
+    lease_sets: FxHashMap<Hash256, StoredEntry>,
     floodfill: bool,
 }
 
@@ -65,8 +71,8 @@ impl NetDbStore {
     /// Creates a store.
     pub fn new(config: StoreConfig) -> Self {
         NetDbStore {
-            router_infos: HashMap::new(),
-            lease_sets: HashMap::new(),
+            router_infos: FxHashMap::default(),
+            lease_sets: FxHashMap::default(),
             floodfill: config.floodfill,
         }
     }
@@ -137,6 +143,17 @@ impl NetDbStore {
         })
     }
 
+    /// Iterates over stored RouterInfos with their router hashes. The
+    /// hash is the map key, so callers on hot paths (tunnel hop
+    /// candidate collection runs per build attempt) get it for free
+    /// instead of re-deriving a SHA-256 per record per visit.
+    pub fn router_infos_keyed(&self) -> impl Iterator<Item = (&Hash256, &RouterInfo)> {
+        self.router_infos.iter().filter_map(|(k, e)| match &e.payload {
+            NetDbPayload::RouterInfo(ri) => Some((k, ri)),
+            _ => None,
+        })
+    }
+
     /// All router hashes currently stored.
     pub fn router_hashes(&self) -> Vec<Hash256> {
         self.router_infos.keys().copied().collect()
@@ -165,6 +182,12 @@ impl NetDbStore {
 
     /// Among `floodfills`, the [`REPLICATION`] closest to `key`'s routing
     /// key at `now` — the publish/flood target set (§4.2).
+    ///
+    /// Routing keys are SHA-256 digests, so they are computed exactly
+    /// once per candidate and the sort runs over the cached distances —
+    /// `sort_by_key` would re-derive the digest on every comparison.
+    /// The sort is stable on the input order, like the plain
+    /// `sort_by_key` it replaces.
     pub fn closest_floodfills(
         key: &Hash256,
         floodfills: &[Hash256],
@@ -172,10 +195,19 @@ impl NetDbStore {
         n: usize,
     ) -> Vec<Hash256> {
         let target = RoutingKey::for_time(key, now);
-        let mut v: Vec<Hash256> = floodfills.to_vec();
-        v.sort_by_key(|f| RoutingKey::for_time(f, now).distance(&target));
-        v.truncate(n);
-        v
+        let mut ranked: Vec<(i2p_data::hash::Distance, usize)> = floodfills
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (RoutingKey::for_time(f, now).distance(&target), i))
+            .collect();
+        // (distance, original index) keys make the stable sort's
+        // tie-breaking explicit: equal distances keep input order.
+        ranked.sort();
+        ranked
+            .into_iter()
+            .take(n)
+            .map(|(_, i)| floodfills[i])
+            .collect()
     }
 }
 

@@ -28,8 +28,9 @@ use i2p_netdb::messages::{DatabaseLookup, DatabaseStore, SearchReply};
 use i2p_transport::fabric::{DeliveryOutcome, Endpoint, Fabric};
 use i2p_tunnel::build::TunnelBuildRequest;
 use i2p_tunnel::garlic::GarlicMessage;
+use i2p_data::FxHashMap;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// A message between routers.
 #[derive(Clone, Debug)]
@@ -73,6 +74,14 @@ pub enum NetMsg {
         /// The message to forward.
         inner: Box<NetMsg>,
     },
+    /// Transport-level failure signal delivered back to a sender whose
+    /// connection was actively refused (the censor's
+    /// [`i2p_transport::fabric::CensorMode::ActiveReset`] chokepoint).
+    /// Null-routing never produces this — silence is the point.
+    PeerUnreachable {
+        /// The peer the connection attempt was refused towards.
+        peer: Hash256,
+    },
 }
 
 impl NetMsg {
@@ -87,6 +96,8 @@ impl NetMsg {
             NetMsg::TunnelData { garlic, .. } => garlic.wire_len() + 64,
             NetMsg::Garlic(g) => g.wire_len(),
             NetMsg::RelayIntro { inner, .. } => inner.wire_size() + 64,
+            // A local kernel signal (RST observed), not wire traffic.
+            NetMsg::PeerUnreachable { .. } => 0,
         }
     }
 }
@@ -198,7 +209,7 @@ impl EepResponse {
     }
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct QueuedEvent {
     at: SimTime,
     seq: u64,
@@ -224,14 +235,22 @@ impl Ord for QueuedEvent {
 }
 
 /// The in-memory network.
+///
+/// `Clone` gives the scenario lab its substrate forks: a clone is a
+/// fully independent network sharing nothing with the original, and —
+/// because every map in the stack hashes deterministically — continuing
+/// a clone is bit-identical to continuing the original. Use
+/// [`TestNet::fork`] to also re-split the RNG so forks diverge
+/// reproducibly.
+#[derive(Clone)]
 pub struct TestNet {
     /// The IP substrate (install a blocklist here to censor).
     pub fabric: Fabric,
     routers: Vec<Router>,
-    index: HashMap<Hash256, usize>,
+    index: FxHashMap<Hash256, usize>,
     /// Private endpoints for firewalled routers (reachable only via
     /// introducer relay in the model).
-    private_endpoints: HashMap<usize, Endpoint>,
+    private_endpoints: FxHashMap<usize, Endpoint>,
     queue: BinaryHeap<Reverse<QueuedEvent>>,
     now: SimTime,
     seq: u64,
@@ -247,13 +266,13 @@ impl TestNet {
         TestNet {
             fabric: Fabric::new(),
             routers: Vec::new(),
-            index: HashMap::new(),
-            private_endpoints: HashMap::new(),
+            index: FxHashMap::default(),
+            private_endpoints: FxHashMap::default(),
             queue: BinaryHeap::new(),
             now: SimTime::EPOCH,
             seq: 0,
             next_ip: 0x0100_0000,
-            rng: DetRng::new(seed ^ 0x7e57_ae7),
+            rng: DetRng::new(seed ^ 0x07e5_7ae7),
             reseeds: vec![ReseedServer::new(1), ReseedServer::new(2)],
         }
     }
@@ -291,6 +310,24 @@ impl TestNet {
     /// A fresh RNG stream for experiment drivers.
     pub fn fork_rng(&self, label: u64) -> DetRng {
         self.rng.fork(label)
+    }
+
+    /// Forks the network into an independent scenario: a deep clone
+    /// whose root RNG is re-split by `label`, so every downstream
+    /// stream (event handling, experiment drivers via [`TestNet::fork_rng`])
+    /// diverges from the parent and from forks with other labels, while
+    /// the same `label` always reproduces the same fork. Time, routers,
+    /// queued events and the fabric are carried over unchanged — the
+    /// scenario lab warms a substrate once and forks it per scenario
+    /// instead of rebuilding and re-settling it.
+    ///
+    /// A plain `.clone()` keeps the parent's RNG stream: continuing a
+    /// clone is bit-identical to continuing the original (the
+    /// rebuild-equivalence the determinism suite pins down).
+    pub fn fork(&self, label: u64) -> Self {
+        let mut forked = self.clone();
+        forked.rng = self.rng.fork(0xF02C ^ label);
+        forked
     }
 
     /// Adds a router, assigning it an IP/port. Firewalled routers get a
@@ -431,6 +468,20 @@ impl TestNet {
                 self.queue.push(Reverse(QueuedEvent { at, seq: self.seq, to: to_idx, msg }));
                 true
             }
+            DeliveryOutcome::Reset { at } => {
+                // The censor refused the connection: the *sender* learns
+                // about it after one chokepoint round trip and can fail
+                // over immediately (vs. silently burning its timeout
+                // under null routing).
+                self.seq += 1;
+                self.queue.push(Reverse(QueuedEvent {
+                    at,
+                    seq: self.seq,
+                    to: from_idx,
+                    msg: NetMsg::PeerUnreachable { peer: to },
+                }));
+                false
+            }
             DeliveryOutcome::NullRouted | DeliveryOutcome::NoListener => false,
         }
     }
@@ -446,12 +497,8 @@ impl TestNet {
     /// queue drains. Returns the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> usize {
         let mut processed = 0;
-        loop {
-            let head_at = match self.queue.peek() {
-                Some(Reverse(e)) => e.at,
-                None => break,
-            };
-            if head_at > deadline {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
                 break;
             }
             let Reverse(event) = self.queue.pop().unwrap();

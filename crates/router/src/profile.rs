@@ -8,8 +8,7 @@
 //! dimensions (speed, capacity, integration) plus a failure count, and
 //! derive the selection weight used by `i2p_tunnel::select`.
 
-use i2p_data::{BandwidthClass, Hash256, SimTime};
-use std::collections::HashMap;
+use i2p_data::{BandwidthClass, FxHashMap, Hash256, SimTime};
 
 /// Profile tier, recomputed from scores.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, PartialOrd, Ord)]
@@ -145,9 +144,14 @@ impl PeerProfile {
 }
 
 /// All profiles a router keeps.
+///
+/// Backed by the deterministic [`FxHashMap`]: the book is consulted
+/// once per hop candidate on every tunnel build, and a deterministic
+/// hasher keeps cloned routers (scenario-lab forks) replaying
+/// identically.
 #[derive(Clone, Debug, Default)]
 pub struct ProfileBook {
-    profiles: HashMap<Hash256, PeerProfile>,
+    profiles: FxHashMap<Hash256, PeerProfile>,
 }
 
 impl ProfileBook {

@@ -20,9 +20,9 @@ use i2p_netdb::messages::{DatabaseLookup, DatabaseStore, LookupKind, NetDbPayloa
 use i2p_netdb::store::{NetDbStore, StoreConfig, StoreOutcome, REPLICATION};
 use i2p_tunnel::build::TunnelBuildRequest;
 use i2p_tunnel::garlic::{Clove, DeliveryInstructions, GarlicMessage};
+use i2p_data::FxHashMap;
 use i2p_tunnel::pool::{TunnelDirection, TunnelPool};
 use i2p_tunnel::select::{select_hops, HopCandidate};
-use std::collections::HashMap;
 
 /// Minimum uptime before the automatic floodfill health check passes
 /// (stability/uptime tests, Hoang et al. §2.1.2).
@@ -48,6 +48,11 @@ pub struct Eepsite {
 }
 
 /// One emulated router.
+///
+/// `Clone` supports the scenario lab's substrate forking: a cloned
+/// router is an independent copy, and all internal maps hash
+/// deterministically, so a clone replays exactly like the original.
+#[derive(Clone)]
 pub struct Router {
     /// Public identity.
     pub identity: RouterIdentity,
@@ -68,7 +73,7 @@ pub struct Router {
     /// Outbound tunnel pool.
     pub outbound: TunnelPool,
     /// Tunnels this router relays for others (id → state).
-    pub participating: HashMap<u32, Participant>,
+    pub participating: FxHashMap<u32, Participant>,
     /// Our public IP (None when firewalled/hidden).
     pub public_ip: Option<PeerIp>,
     /// Our port.
@@ -80,8 +85,8 @@ pub struct Router {
     /// Application events (completed fetches etc.) for the harness.
     pub app_events: Vec<AppEvent>,
     /// Pending requests we originated: request id → when sent.
-    pub pending_requests: HashMap<u64, SimTime>,
-    pending_builds: HashMap<u32, PendingBuild>,
+    pub pending_requests: FxHashMap<u64, SimTime>,
+    pending_builds: FxHashMap<u32, PendingBuild>,
     hash_cache: Hash256,
 }
 
@@ -102,14 +107,14 @@ impl Router {
             profiles: ProfileBook::new(),
             inbound: TunnelPool::new(),
             outbound: TunnelPool::new(),
-            participating: HashMap::new(),
+            participating: FxHashMap::default(),
             public_ip: None,
             port: 0,
             my_introducers: Vec::new(),
             eepsite: None,
             app_events: Vec::new(),
-            pending_requests: HashMap::new(),
-            pending_builds: HashMap::new(),
+            pending_requests: FxHashMap::default(),
+            pending_builds: FxHashMap::default(),
             hash_cache: hash,
         }
     }
@@ -257,14 +262,17 @@ impl Router {
         self.hop_candidates_at(SimTime(u64::MAX / 2))
     }
 
-    /// Candidate hops at `now` (time-aware failure decay).
+    /// Candidate hops at `now` (time-aware failure decay). Hashes come
+    /// from the store's keys — this runs once per build attempt, and
+    /// re-deriving a digest per stored record dominated build launches.
     pub fn hop_candidates_at(&self, now: SimTime) -> Vec<HopCandidate> {
+        let me = self.hash();
         self.store
-            .router_infos()
-            .filter(|ri| ri.caps.reachable && !ri.caps.hidden && ri.hash() != self.hash())
-            .map(|ri| HopCandidate {
-                hash: ri.hash(),
-                weight: self.profiles.weight_at(&ri.hash(), now),
+            .router_infos_keyed()
+            .filter(|(hash, ri)| ri.caps.reachable && !ri.caps.hidden && **hash != me)
+            .map(|(hash, _)| HopCandidate {
+                hash: *hash,
+                weight: self.profiles.weight_at(hash, now),
             })
             .collect()
     }
@@ -367,6 +375,29 @@ impl Router {
                 // We are an introducer for `target`: forward.
                 vec![Outbound { to: target, msg: *inner }]
             }
+            NetMsg::PeerUnreachable { peer } => {
+                self.on_peer_unreachable(peer, now);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Reacts to an active-reset signal: every in-flight tunnel build
+    /// whose first hop is the refused peer has provably failed, so it is
+    /// abandoned (and the hops penalised) immediately instead of waiting
+    /// out the attempt timeout — the fail-fast behaviour that separates
+    /// an RST-injecting censor from a null-routing one.
+    pub fn on_peer_unreachable(&mut self, peer: Hash256, now: SimTime) {
+        let mut failed: Vec<u32> = self
+            .pending_builds
+            .iter()
+            .filter(|(_, p)| p.hops.first() == Some(&peer))
+            .map(|(id, _)| *id)
+            .collect();
+        // Sorted so the profile penalties apply in a map-order-free way.
+        failed.sort_unstable();
+        for id in failed {
+            self.fail_pending_build(id, now);
         }
     }
 
@@ -451,7 +482,10 @@ impl Router {
             .filter(|f| !dlm.exclude.contains(f))
             .collect();
         let closer = NetDbStore::closest_floodfills(&dlm.key, &ffs, now, REPLICATION);
-        let all: Vec<RouterInfo> = self.store.router_infos().cloned().collect();
+        // Sample by reference, clone only the picked records — this runs
+        // on every lookup, and cloning the whole store to keep 8 records
+        // dominated the reply path.
+        let all: Vec<&RouterInfo> = self.store.router_infos().collect();
         let sample_n = 8.min(all.len());
         let routers = rng
             .sample_indices(all.len(), sample_n)

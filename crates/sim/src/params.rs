@@ -34,10 +34,10 @@ pub const CHURN_INT_SCALE: f64 = 25.40;
 /// Online probability during the intermittent tail of a peer's life.
 pub const TAIL_PRESENCE_PROB: f64 = 0.35;
 
-/// Expected online days per peer under the model above (continuous span
-/// + tail presence). Used to size the arrival rate:
-/// `E[L_c] + TAIL_PRESENCE_PROB · (E[L_i] − E[L_c])`
-/// = 19.1 + 0.35·(26.2 − 19.1) ≈ 21.6.
+/// Expected online days per peer under the model above (continuous
+/// span plus tail presence). Used to size the arrival rate:
+/// `E[L_c] + TAIL_PRESENCE_PROB · (E[L_i] − E[L_c])` =
+/// 19.1 + 0.35·(26.2 − 19.1) ≈ 21.6.
 pub const EXPECTED_ONLINE_DAYS: f64 = 21.6;
 
 /// Daily Poisson arrival rate: TARGET_DAILY_PEERS / EXPECTED_ONLINE_DAYS.

@@ -231,7 +231,7 @@ impl PeerRecord {
             IpBehavior::Roamer { .. } => {
                 // Each roamer cycles through a bounded personal pool of
                 // VPN exits (the paper's extremes: 39 ASes, 25 countries).
-                let pool_size = 3 + (self.seed % 36) as u64;
+                let pool_size = 3 + (self.seed % 36);
                 let epoch = self.ip_epoch(day);
                 let mut slot_rng = DetRng::new(self.seed ^ 0xA5A5 ^ epoch as u64);
                 let slot = slot_rng.below(pool_size);

@@ -7,26 +7,31 @@
 //! Fig. 13): an entry blocks traffic on day `d` iff it was seen within
 //! the window ending at `d`.
 
-use i2p_data::PeerIp;
-use std::collections::HashMap;
+use i2p_data::{FxHashMap, FxHashSet, PeerIp};
 
 /// A time-windowed IP blacklist.
 #[derive(Clone, Debug, Default)]
 pub struct BlockList {
     /// IP → last day it was observed by the censor.
-    last_seen: HashMap<PeerIp, u64>,
+    last_seen: FxHashMap<PeerIp, u64>,
     /// Window length in days (entries older than this stop blocking).
     window_days: u64,
     /// Whitelisted IPs are never blocked (the §7.2 attack whitelists the
-    /// censor's own malicious routers).
-    whitelist: Vec<PeerIp>,
+    /// censor's own malicious routers). A hash set, not a `Vec`: the
+    /// fabric consults the blocklist on every delivery decision, so a
+    /// linear whitelist scan would sit on the hot path.
+    whitelist: FxHashSet<PeerIp>,
 }
 
 impl BlockList {
     /// Creates an empty blacklist with the given window.
     pub fn new(window_days: u64) -> Self {
         assert!(window_days >= 1, "window must be at least one day");
-        BlockList { last_seen: HashMap::new(), window_days, whitelist: Vec::new() }
+        BlockList {
+            last_seen: FxHashMap::default(),
+            window_days,
+            whitelist: FxHashSet::default(),
+        }
     }
 
     /// The configured window length.
@@ -51,9 +56,12 @@ impl BlockList {
 
     /// Whitelists `ip` (never blocked).
     pub fn whitelist(&mut self, ip: PeerIp) {
-        if !self.whitelist.contains(&ip) {
-            self.whitelist.push(ip);
-        }
+        self.whitelist.insert(ip);
+    }
+
+    /// Number of whitelisted IPs.
+    pub fn whitelist_len(&self) -> usize {
+        self.whitelist.len()
     }
 
     /// Whether traffic to `ip` is blocked on `day`.

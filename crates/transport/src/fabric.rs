@@ -10,10 +10,16 @@
 //! router to silently drop all packets that contain peer IP addresses
 //! that we observed from the I2P network" — a blocked send produces no
 //! error, only silence, so the initiator burns its connect timeout.
+//!
+//! The fabric also models an *active-reset* censor ([`CensorMode`]):
+//! instead of silently dropping, the chokepoint injects a TCP-RST-style
+//! refusal, so the initiator learns about the block after one chokepoint
+//! round trip instead of burning its attempt timeout — the
+//! fail-fast/fail-silent distinction that reshapes Fig. 14's latency
+//! curve.
 
 use crate::blocklist::BlockList;
-use i2p_data::{Duration, Hash256, PeerIp, SimTime};
-use std::collections::HashMap;
+use i2p_data::{Duration, FxHashMap, Hash256, PeerIp, SimTime};
 
 /// A network endpoint: IP and port.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -39,6 +45,18 @@ impl LinkProfile {
         LinkProfile { base: Duration::from_millis(10), jitter: Duration::from_millis(150) };
 }
 
+/// How the censor's chokepoint disposes of blocked traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CensorMode {
+    /// Silent null route (§6.2.3): the sender gets no signal and burns
+    /// its attempt timeout.
+    #[default]
+    NullRoute,
+    /// Active TCP-RST-style reset: the sender is refused after one
+    /// chokepoint round trip and can fail over immediately.
+    ActiveReset,
+}
+
 /// Outcome of a send attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DeliveryOutcome {
@@ -51,6 +69,12 @@ pub enum DeliveryOutcome {
     },
     /// Silently dropped by the censor's null route (no error signal!).
     NullRouted,
+    /// Actively refused by the censor ([`CensorMode::ActiveReset`]): the
+    /// sender learns the peer is unreachable at the given instant.
+    Reset {
+        /// When the RST reaches the sender (one chokepoint round trip).
+        at: SimTime,
+    },
     /// Nothing listens on the destination endpoint (peer gone/behind NAT).
     NoListener,
 }
@@ -64,19 +88,26 @@ pub struct FabricStats {
     pub delivered_bytes: u64,
     /// Messages null-routed by the blocklist.
     pub null_routed: u64,
+    /// Messages actively reset by the blocklist.
+    pub reset: u64,
     /// Messages to unregistered endpoints.
     pub no_listener: u64,
 }
 
 /// The simulated IP substrate.
-#[derive(Debug, Default)]
+///
+/// `Clone` so a warmed scenario-lab substrate can be forked per
+/// scenario; the fabric holds only plain data, so a clone is an
+/// independent network.
+#[derive(Clone, Debug, Default)]
 pub struct Fabric {
-    listeners: HashMap<Endpoint, Hash256>,
+    listeners: FxHashMap<Endpoint, Hash256>,
     blocklist: Option<BlockList>,
     /// When set, the blocklist only affects traffic to/from this IP —
     /// the censor sits at the *victim's* upstream (§6.2.3), not in the
     /// middle of the whole internet.
     victim: Option<PeerIp>,
+    censor_mode: CensorMode,
     profile: Option<LinkProfile>,
     stats: FabricStats,
 }
@@ -102,6 +133,16 @@ impl Fabric {
     /// Removes the blocklist.
     pub fn clear_blocklist(&mut self) {
         self.blocklist = None;
+    }
+
+    /// Selects how the chokepoint disposes of blocked traffic.
+    pub fn set_censor_mode(&mut self, mode: CensorMode) {
+        self.censor_mode = mode;
+    }
+
+    /// The active censor mode.
+    pub fn censor_mode(&self) -> CensorMode {
+        self.censor_mode
     }
 
     /// Mutable access to the installed blocklist.
@@ -157,8 +198,20 @@ impl Fabric {
             };
             let hits = bl.is_blocked(&to.ip, day) || bl.is_blocked(&from_ip, day);
             if at_chokepoint && hits {
-                self.stats.null_routed += 1;
-                return DeliveryOutcome::NullRouted;
+                return match self.censor_mode {
+                    CensorMode::NullRoute => {
+                        self.stats.null_routed += 1;
+                        DeliveryOutcome::NullRouted
+                    }
+                    CensorMode::ActiveReset => {
+                        self.stats.reset += 1;
+                        // The RST originates at the chokepoint (the
+                        // victim's upstream), one base-latency round
+                        // trip away — far sooner than any timeout.
+                        let p = self.profile.unwrap_or(LinkProfile::DEFAULT);
+                        DeliveryOutcome::Reset { at: now + p.base + p.base }
+                    }
+                };
             }
         }
         match self.listeners.get(&to) {
@@ -230,6 +283,29 @@ mod tests {
         assert_eq!(f.stats().null_routed, 1);
         assert!(f.reply_blocked(PeerIp::V4(2), 0));
         assert!(!f.reply_blocked(PeerIp::V4(3), 0));
+    }
+
+    #[test]
+    fn active_reset_fails_fast_with_signal() {
+        let mut f = Fabric::new();
+        f.register(ep(2), Hash256::digest(b"bob"));
+        let mut bl = BlockList::new(30);
+        bl.observe(PeerIp::V4(2), 0);
+        f.set_blocklist(bl);
+        f.set_censor_mode(CensorMode::ActiveReset);
+        match f.send(PeerIp::V4(1), ep(2), 10, SimTime(0)) {
+            DeliveryOutcome::Reset { at } => {
+                assert!(at.as_millis() <= 20, "RST lands within one chokepoint RTT, got {at:?}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(f.stats().reset, 1);
+        assert_eq!(f.stats().null_routed, 0);
+        // Traffic outside the window is untouched.
+        assert!(matches!(
+            f.send(PeerIp::V4(1), ep(2), 10, SimTime::from_day_ms(40, 0)),
+            DeliveryOutcome::Delivered { .. }
+        ));
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod ssu;
 
 pub use blocklist::BlockList;
 pub use dpi::{classify_flow, FlowVerdict};
-pub use fabric::{DeliveryOutcome, Endpoint, Fabric, LinkProfile};
+pub use fabric::{CensorMode, DeliveryOutcome, Endpoint, Fabric, LinkProfile};
 pub use handshake::{Handshake, HandshakeMsg, HANDSHAKE_SIZES};
 pub use ntcp2::Ntcp2Handshake;
 pub use session::Session;

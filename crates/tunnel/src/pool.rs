@@ -162,6 +162,15 @@ impl TunnelPool {
     pub fn deficit(&self, target: usize, now: SimTime) -> usize {
         target.saturating_sub(self.live_count(now))
     }
+
+    /// Drops every tunnel immediately — forced rotation / client session
+    /// teardown. Build counters are preserved. Returns how many tunnels
+    /// were dropped.
+    pub fn drop_all(&mut self) -> usize {
+        let n = self.tunnels.len();
+        self.tunnels.clear();
+        n
+    }
 }
 
 #[cfg(test)]

@@ -1,15 +1,21 @@
 //! Eepsite usability under censorship: the paper's §6.2.3 experiment on
 //! the protocol-level TestNet. A victim fetches a small eepsite through
-//! real garlic tunnels while its upstream null-routes a growing share of
+//! real garlic tunnels while its upstream blocks a growing share of
 //! peer addresses; page-load times and HTTP-504 rates are measured, not
 //! modelled.
+//!
+//! The sweep runs through the scenario lab: the network is bootstrapped
+//! and settled once, then forked per (rate, replicate) scenario — and a
+//! second, fail-fast *active-reset* censor runs on the same substrate
+//! for comparison.
 //!
 //! ```sh
 //! cargo run --release --example eepsite_usability
 //! ```
 
 use i2pscope::measure::report::render_fig14;
-use i2pscope::measure::usability::{evaluate, UsabilityConfig};
+use i2pscope::measure::usability::{evaluate_on, warm_substrate, UsabilityConfig};
+use i2pscope::transport::CensorMode;
 
 fn main() {
     let cfg = UsabilityConfig {
@@ -17,13 +23,18 @@ fn main() {
         floodfills: 10,
         fetches_per_rate: 6,
         blocking_rates: vec![0.0, 0.5, 0.65, 0.75, 0.85, 0.95],
+        replicates: 2,
         ..Default::default()
     };
     println!(
-        "running {} fetches per blocking rate against a {}-relay network…\n",
-        cfg.fetches_per_rate, cfg.relays
+        "running {} fetches × {} replicates per blocking rate against a {}-relay network\n\
+         (substrate warmed once, forked per scenario)…\n",
+        cfg.fetches_per_rate, cfg.replicates, cfg.relays
     );
-    let points = evaluate(&cfg);
-    println!("{}", render_fig14(&points));
+    let sub = warm_substrate(&cfg);
+    println!("{}", render_fig14(&evaluate_on(&sub, &cfg)));
+    let reset_cfg = UsabilityConfig { censor_mode: CensorMode::ActiveReset, ..cfg.clone() };
+    println!("same substrate, active-reset (TCP-RST) censor:\n");
+    println!("{}", render_fig14(&evaluate_on(&sub, &reset_cfg)));
     println!("paper: 3.4 s unblocked; >20 s and 40% timeouts at 65%; unusable past 90%.");
 }
