@@ -1,0 +1,129 @@
+//! Dataset-store benchmarks: snapshot replay vs world regeneration,
+//! plus criterion micros of the store primitives (capture, serialize,
+//! load, RouterInfo verification).
+//!
+//! The headline comparison is the subsystem's reason to exist: once a
+//! dataset is archived, every further analysis pays only the snapshot
+//! load instead of regenerating the world and refilling the harvest
+//! engine. Run with `I2PSCOPE_SCALE=0.1` to reproduce the README
+//! numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use i2p_measure::engine::HarvestEngine;
+use i2p_measure::fleet::Fleet;
+use i2p_sim::world::{World, WorldConfig};
+use i2p_store::Snapshot;
+use i2pscope::cli::{render_figures, FigId, Format};
+use std::hint::black_box;
+use std::time::Instant;
+
+const DAYS: u64 = 8;
+
+fn scaled_config() -> WorldConfig {
+    WorldConfig { days: DAYS, scale: i2p_bench::scale(), seed: i2p_bench::seed() }
+}
+
+/// The replay-vs-regenerate headline: median-of-3 wall clocks for the
+/// full figure suite from (a) a fresh world + engine fill and (b) a
+/// loaded snapshot, asserting output equality along the way.
+fn headline(_c: &mut Criterion) {
+    let cfg = scaled_config();
+    let fleet = Fleet::paper_main();
+
+    // Prepare the archive once (not part of either timed path).
+    let world = World::generate(cfg);
+    let engine = HarvestEngine::build(&world, &fleet, 0..DAYS);
+    let bytes = Snapshot::capture(&engine).to_bytes();
+    eprintln!(
+        "[micro_store] archive: {} bytes, {} rows, scale {}",
+        bytes.len(),
+        Snapshot::from_bytes(&bytes).unwrap().total_rows(),
+        cfg.scale
+    );
+
+    let median3 = |mut f: Box<dyn FnMut() -> usize>| {
+        let mut times: Vec<f64> = (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(f());
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times[1] * 1e3
+    };
+
+    // Dataset-ready: how long until the sighting matrix is queryable.
+    let regen_ready = median3(Box::new(move || {
+        let world = World::generate(cfg);
+        let engine = HarvestEngine::build(&world, &Fleet::paper_main(), 0..DAYS);
+        engine.count_union(0)
+    }));
+    let load_bytes = bytes.clone();
+    let replay_ready = median3(Box::new(move || {
+        let snap = Snapshot::from_bytes(&load_bytes).unwrap();
+        snap.total_rows()
+    }));
+    // End-to-end: dataset plus the full figure suite.
+    let regen_figs = median3(Box::new(move || {
+        let world = World::generate(cfg);
+        let engine = HarvestEngine::build(&world, &Fleet::paper_main(), 0..DAYS);
+        render_figures(&engine, Format::Text, &FigId::ALL).len()
+    }));
+    let replay_bytes = bytes.clone();
+    let replay_figs = median3(Box::new(move || {
+        let snap = Snapshot::from_bytes(&replay_bytes).unwrap();
+        render_figures(&snap, Format::Text, &FigId::ALL).len()
+    }));
+    eprintln!(
+        "[micro_store] dataset ready: regenerate {regen_ready:.1} ms | snapshot load {replay_ready:.1} ms | ≈ {:.1}×",
+        regen_ready / replay_ready.max(1e-6)
+    );
+    eprintln!(
+        "[micro_store] full figure suite: regenerate {regen_figs:.1} ms | replay {replay_figs:.1} ms | ≈ {:.1}×",
+        regen_figs / replay_figs.max(1e-6)
+    );
+}
+
+/// Criterion micros of the store primitives at a fixed small scale.
+fn bench_primitives(c: &mut Criterion) {
+    let world = World::generate(WorldConfig { days: 4, scale: 0.02, seed: 0xBEEF });
+    let fleet = Fleet::alternating(6);
+    let engine = HarvestEngine::build(&world, &fleet, 0..4);
+    let snapshot = Snapshot::capture(&engine);
+    let bytes = snapshot.to_bytes();
+
+    c.bench_function("store_capture_6v_4d", |b| {
+        b.iter(|| Snapshot::capture(black_box(&engine)))
+    });
+    c.bench_function("store_to_bytes", |b| b.iter(|| black_box(&snapshot).to_bytes()));
+    c.bench_function("store_from_bytes", |b| {
+        b.iter(|| Snapshot::from_bytes(black_box(&bytes)).unwrap())
+    });
+    c.bench_function("store_verify_router_infos", |b| {
+        b.iter(|| black_box(&snapshot).verify_router_infos().unwrap())
+    });
+
+    // The codec layer underneath: delta-run encode/decode of one dense
+    // daily sighting set.
+    let ids: Vec<u32> = (0..4096u32).filter(|i| i % 3 != 0).collect();
+    let mut w = i2p_data::codec::Writer::new();
+    w.id_run(&ids);
+    let run = w.into_bytes();
+    c.bench_function("codec_id_run_encode_2731", |b| {
+        b.iter(|| {
+            let mut w = i2p_data::codec::Writer::new();
+            w.id_run(black_box(&ids));
+            w.into_bytes()
+        })
+    });
+    c.bench_function("codec_id_run_decode_2731", |b| {
+        b.iter(|| {
+            let mut r = i2p_data::codec::Reader::new(black_box(&run));
+            r.id_run("bench").unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, headline, bench_primitives);
+criterion_main!(benches);

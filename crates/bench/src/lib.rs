@@ -20,21 +20,10 @@
 #![warn(missing_docs)]
 
 use i2p_sim::world::{World, WorldConfig};
+// One definition of the knob semantics (malformed values **panic**
+// instead of silently falling back to a full-scale run): the CLI's.
+use i2pscope::cli::env_parse;
 use std::time::Instant;
-
-/// Parses env var `name` as `T`, defaulting when unset.
-///
-/// Malformed values **panic** instead of silently falling back: a typo
-/// like `I2PSCOPE_SCALE=0,1` used to launch a full-scale (hour-long)
-/// run as if the variable were absent.
-fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
-    match std::env::var(name) {
-        Ok(v) => v.parse().unwrap_or_else(|_| {
-            panic!("{name}={v:?} is not a valid {}", std::any::type_name::<T>())
-        }),
-        Err(_) => default,
-    }
-}
 
 fn env_f64(name: &str, default: f64) -> f64 {
     env_parse(name, default)

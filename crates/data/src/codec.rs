@@ -86,6 +86,41 @@ impl Writer {
         self.buf.extend_from_slice(v);
     }
 
+    /// Writes an unsigned LEB128 varint (7 data bits per byte, low
+    /// group first, high bit = continuation). Snapshot segments store
+    /// counts and delta-encoded id runs this way: daily sighting sets
+    /// are dense in small deltas, so most entries cost one byte.
+    pub fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.u8(byte);
+                return;
+            }
+            self.u8(byte | 0x80);
+        }
+    }
+
+    /// Writes a strictly-ascending id run: a varint count, the first id
+    /// as a varint, then varint gaps (`id − prev`, always ≥ 1).
+    ///
+    /// # Panics
+    /// If `ids` is not strictly ascending.
+    pub fn id_run(&mut self, ids: &[u32]) {
+        self.varint(ids.len() as u64);
+        let mut prev = 0u32;
+        for (i, &id) in ids.iter().enumerate() {
+            if i == 0 {
+                self.varint(id as u64);
+            } else {
+                assert!(id > prev, "id runs must be strictly ascending ({prev} then {id})");
+                self.varint((id - prev) as u64);
+            }
+            prev = id;
+        }
+    }
+
     /// Writes an I2P string: one length byte then up to 255 bytes.
     pub fn string(&mut self, s: &str) {
         let b = s.as_bytes();
@@ -170,6 +205,54 @@ impl<'a> Reader<'a> {
     /// Reads `n` raw bytes.
     pub fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
         self.take(n, what)
+    }
+
+    /// Reads an unsigned LEB128 varint (counterpart of
+    /// [`Writer::varint`]). Encodings that overflow 64 bits are
+    /// `Invalid`; non-minimal encodings of in-range values are accepted.
+    pub fn varint(&mut self, what: &'static str) -> Result<u64, DecodeError> {
+        let mut out = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8(what)?;
+            let low = (b & 0x7F) as u64;
+            if shift >= 64 || (shift == 63 && low > 1) {
+                return Err(DecodeError::Invalid { what });
+            }
+            out |= low << shift;
+            if b & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a strictly-ascending id run (counterpart of
+    /// [`Writer::id_run`]). A zero gap, an id past `u32::MAX`, or a
+    /// count that cannot fit in the remaining input is `Invalid`.
+    pub fn id_run(&mut self, what: &'static str) -> Result<Vec<u32>, DecodeError> {
+        let n = self.varint(what)? as usize;
+        // Every entry costs at least one byte, so a count beyond the
+        // remaining input is corrupt — refusing here also bounds the
+        // allocation below by the input size.
+        if n > self.remaining() {
+            return Err(DecodeError::Invalid { what });
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut prev = 0u64;
+        for i in 0..n {
+            let d = self.varint(what)?;
+            if d > u32::MAX as u64 || (i > 0 && d == 0) {
+                return Err(DecodeError::Invalid { what });
+            }
+            let id = if i == 0 { d } else { prev + d };
+            if id > u32::MAX as u64 {
+                return Err(DecodeError::Invalid { what });
+            }
+            out.push(id as u32);
+            prev = id;
+        }
+        Ok(out)
     }
 
     /// Reads exactly 32 bytes into an array.
@@ -260,6 +343,79 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes[..2]);
         assert_eq!(r.u32("x"), Err(DecodeError::Truncated { what: "x" }));
+    }
+
+    #[test]
+    fn varint_boundaries_roundtrip() {
+        let cases = [0u64, 1, 127, 128, 255, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        let mut w = Writer::new();
+        for &v in &cases {
+            w.varint(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for &v in &cases {
+            assert_eq!(r.varint("v").unwrap(), v);
+        }
+        assert!(r.is_empty());
+        // Single-byte values really cost one byte.
+        let mut w = Writer::new();
+        w.varint(127);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // 11 continuation bytes push past 64 bits.
+        let bytes = [0xFFu8; 11];
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.varint("v"), Err(DecodeError::Invalid { what: "v" }));
+        // A 10th byte carrying more than the one remaining bit overflows.
+        let bytes = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02];
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.varint("v"), Err(DecodeError::Invalid { what: "v" }));
+    }
+
+    #[test]
+    fn id_run_roundtrips_and_compresses() {
+        let ids = [0u32, 1, 2, 5, 100, 101, 4_000_000_000];
+        let mut w = Writer::new();
+        w.id_run(&ids);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.id_run("ids").unwrap(), ids);
+        assert!(r.is_empty());
+        // Dense runs cost ~1 byte per id (count + first + small gaps).
+        let dense: Vec<u32> = (1000..2000).collect();
+        let mut w = Writer::new();
+        w.id_run(&dense);
+        assert!(w.len() < dense.len() + 8, "delta run must stay near 1 B/id, got {}", w.len());
+    }
+
+    #[test]
+    fn id_run_rejects_zero_gap_and_overlong_count() {
+        // count 2, first id 5, gap 0 → not strictly ascending.
+        let mut w = Writer::new();
+        w.varint(2);
+        w.varint(5);
+        w.varint(0);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.id_run("ids"), Err(DecodeError::Invalid { .. })));
+        // A count larger than the remaining input is corrupt, not an
+        // allocation request.
+        let mut w = Writer::new();
+        w.varint(1 << 40);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.id_run("ids"), Err(DecodeError::Invalid { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn id_run_write_rejects_descending() {
+        let mut w = Writer::new();
+        w.id_run(&[3, 2]);
     }
 
     #[test]

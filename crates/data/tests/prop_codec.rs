@@ -1,0 +1,142 @@
+//! Property tests for the `i2p_data::codec` Writer/Reader primitives.
+//!
+//! Until now only `routerinfo.rs` had a roundtrip test; the snapshot
+//! store (the `i2p-store` crate) serializes every segment through these
+//! primitives, so each one gets its own write→read roundtrip property,
+//! including the varint and delta-id-run helpers the store leans on.
+
+use i2p_data::codec::{DecodeError, Reader, Writer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn scalars_roundtrip(a in any::<u8>(), b in any::<u16>(), c in any::<u32>(), d in any::<u64>()) {
+        let mut w = Writer::new();
+        w.u8(a);
+        w.u16(b);
+        w.u32(c);
+        w.u64(d);
+        let bytes = w.into_bytes();
+        prop_assert_eq!(bytes.len(), 1 + 2 + 4 + 8);
+        let mut r = Reader::new(&bytes);
+        prop_assert_eq!(r.u8("a").unwrap(), a);
+        prop_assert_eq!(r.u16("b").unwrap(), b);
+        prop_assert_eq!(r.u32("c").unwrap(), c);
+        prop_assert_eq!(r.u64("d").unwrap(), d);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn raw_bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut w = Writer::new();
+        w.bytes(&data);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        prop_assert_eq!(r.bytes(data.len(), "raw").unwrap(), &data[..]);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn varint_roundtrips_minimally(v in any::<u64>(), small in 0u64..128) {
+        for value in [v, small, v >> 32, v >> 56] {
+            let mut w = Writer::new();
+            w.varint(value);
+            let bytes = w.into_bytes();
+            // LEB128 length: ceil(bits/7), at least 1, at most 10.
+            let expect_len = (64 - value.leading_zeros()).div_ceil(7).max(1) as usize;
+            prop_assert_eq!(bytes.len(), expect_len);
+            let mut r = Reader::new(&bytes);
+            prop_assert_eq!(r.varint("v").unwrap(), value);
+            prop_assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..12)) {
+        // Arbitrary bytes either decode to some value or report a
+        // DecodeError — never a panic, never an out-of-range shift.
+        let mut r = Reader::new(&noise);
+        let _ = r.varint("noise");
+    }
+
+    #[test]
+    fn id_run_roundtrips(raw in proptest::collection::hash_set(any::<u32>(), 0..120)) {
+        let mut ids: Vec<u32> = raw.into_iter().collect();
+        ids.sort_unstable();
+        let mut w = Writer::new();
+        w.id_run(&ids);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        prop_assert_eq!(r.id_run("ids").unwrap(), ids);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn string_roundtrips(len in 0usize..256, seed in any::<u64>()) {
+        // ASCII payloads of every legal length (I2P strings cap at 255).
+        let s: String = (0..len.min(255))
+            .map(|i| (b'a' + ((seed as usize + i) % 26) as u8) as char)
+            .collect();
+        let mut w = Writer::new();
+        w.string(&s);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        prop_assert_eq!(r.string("s").unwrap(), s);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn mapping_roundtrips_sorted(n in 0usize..8, seed in any::<u64>()) {
+        // Distinct keys in arbitrary insertion order come back sorted.
+        let pairs: Vec<(String, String)> = (0..n)
+            .map(|i| {
+                let k = format!("k{:02}", (seed as usize + i * 7) % 50);
+                let v = format!("v{}", i);
+                (k, v)
+            })
+            .collect();
+        let mut dedup: Vec<(String, String)> = Vec::new();
+        for (k, v) in &pairs {
+            if !dedup.iter().any(|(dk, _)| dk == k) {
+                dedup.push((k.clone(), v.clone()));
+            }
+        }
+        let mut w = Writer::new();
+        w.mapping(dedup.iter().map(|(k, v)| (k.as_str(), v.as_str())));
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = r.mapping("m").unwrap();
+        prop_assert!(r.is_empty());
+        let mut expect = dedup.clone();
+        expect.sort_by(|a, b| a.0.cmp(&b.0));
+        prop_assert_eq!(back, expect);
+    }
+
+    #[test]
+    fn truncated_scalars_report_truncation(v in any::<u64>(), cut in 0usize..8) {
+        let mut w = Writer::new();
+        w.u64(v);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..cut]);
+        prop_assert_eq!(r.u64("x"), Err(DecodeError::Truncated { what: "x" }));
+    }
+
+    #[test]
+    fn truncated_id_runs_never_roundtrip(raw in proptest::collection::hash_set(any::<u32>(), 1..60)) {
+        let mut ids: Vec<u32> = raw.into_iter().collect();
+        ids.sort_unstable();
+        let mut w = Writer::new();
+        w.id_run(&ids);
+        let bytes = w.into_bytes();
+        // Any strict prefix either errors or decodes to a shorter run —
+        // it can never silently reproduce the full run.
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            if let Ok(short) = r.id_run("ids") {
+                prop_assert!(short.len() < ids.len());
+            }
+        }
+    }
+}

@@ -3,6 +3,7 @@
 
 use crate::engine::HarvestEngine;
 use crate::fleet::Fleet;
+use crate::source::SnapshotSource;
 use i2p_data::{BandwidthClass, Caps};
 use i2p_sim::world::World;
 
@@ -24,11 +25,20 @@ pub struct CapacityHistogram {
 
 /// Computes Fig. 9 averaged over the window.
 pub fn capacity_histogram(world: &World, fleet: &Fleet, days: std::ops::Range<u64>) -> CapacityHistogram {
+    let engine = HarvestEngine::build(world, fleet, days.clone());
+    capacity_histogram_from(&engine, days)
+}
+
+/// [`capacity_histogram`] off any source.
+pub fn capacity_histogram_from<S: SnapshotSource + ?Sized>(
+    src: &S,
+    days: std::ops::Range<u64>,
+) -> CapacityHistogram {
     let mut totals = [0usize; 7];
     let day_count = days.clone().count().max(1);
-    let engine = HarvestEngine::build(world, fleet, days.clone());
+    let k = src.vantage_count();
     for d in days {
-        engine.for_each_observation(d, fleet.vantages.len(), |rec| {
+        src.for_each_observation_ref(d, k, &mut |rec| {
             for ch in rec.caps.chars() {
                 if let Some(b) = BandwidthClass::from_letter(ch) {
                     totals[idx(b)] += 1;
@@ -61,9 +71,14 @@ pub struct BandwidthTable {
 /// Computes Table 1 for one day.
 pub fn bandwidth_table(world: &World, fleet: &Fleet, day: u64) -> BandwidthTable {
     let engine = HarvestEngine::build(world, fleet, day..day + 1);
+    bandwidth_table_from(&engine, day)
+}
+
+/// [`bandwidth_table`] off any source.
+pub fn bandwidth_table_from<S: SnapshotSource + ?Sized>(src: &S, day: u64) -> BandwidthTable {
     let mut counts = [[0usize; 7]; 4]; // ff, reach, unreach, total
     let mut sizes = [0usize; 4];
-    engine.for_each_observation(day, fleet.vantages.len(), |rec| {
+    src.for_each_observation_ref(day, src.vantage_count(), &mut |rec| {
         let caps: Caps = rec.parsed_caps();
         let mut groups = [3usize, 0, 0];
         let mut n_groups = 1;
@@ -120,9 +135,14 @@ pub struct FloodfillEstimate {
 /// fraction reported on the I2P site.
 pub fn floodfill_estimate(world: &World, fleet: &Fleet, day: u64) -> FloodfillEstimate {
     let engine = HarvestEngine::build(world, fleet, day..day + 1);
+    floodfill_estimate_from(&engine, day)
+}
+
+/// [`floodfill_estimate`] off any source.
+pub fn floodfill_estimate_from<S: SnapshotSource + ?Sized>(src: &S, day: u64) -> FloodfillEstimate {
     let mut ff = 0usize;
     let mut qualified = 0usize;
-    engine.for_each_observation(day, fleet.vantages.len(), |rec| {
+    src.for_each_observation_ref(day, src.vantage_count(), &mut |rec| {
         let caps = rec.parsed_caps();
         if caps.floodfill {
             ff += 1;

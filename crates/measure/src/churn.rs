@@ -9,6 +9,7 @@
 
 use crate::engine::HarvestEngine;
 use crate::fleet::Fleet;
+use crate::source::SnapshotSource;
 use i2p_data::FxHashMap;
 use i2p_sim::world::World;
 
@@ -40,16 +41,23 @@ impl ChurnCurves {
 /// Only peers first seen early enough to have `horizon` days of
 /// follow-up are included, so late joiners do not truncate the curves.
 pub fn churn_curves(world: &World, fleet: &Fleet, days: u64, horizon: usize) -> ChurnCurves {
+    let engine = HarvestEngine::build(world, fleet, 0..days);
+    churn_curves_from(&engine, horizon)
+}
+
+/// [`churn_curves`] off any source, over the source's own day range.
+pub fn churn_curves_from<S: SnapshotSource + ?Sized>(src: &S, horizon: usize) -> ChurnCurves {
     // Sighting matrix: peer -> sorted days sighted. Survival needs only
     // membership, so no observation records are materialized at all.
-    let engine = HarvestEngine::build(world, fleet, 0..days);
+    let span = src.days();
+    let k = src.vantage_count();
     let mut sightings: FxHashMap<u32, Vec<u64>> = FxHashMap::default();
-    for d in 0..days {
-        engine.for_each_union_peer(d, fleet.vantages.len(), |peer| {
-            sightings.entry(peer.id).or_default().push(d);
+    for d in span.clone() {
+        src.for_each_union_id(d, k, &mut |id| {
+            sightings.entry(id).or_default().push(d);
         });
     }
-    let max_first = days.saturating_sub(horizon as u64);
+    let max_first = span.end.saturating_sub(horizon as u64);
     let mut cont_hist = vec![0usize; horizon + 1];
     let mut int_hist = vec![0usize; horizon + 1];
     let mut cohort = 0usize;

@@ -236,6 +236,15 @@ impl<'w> HarvestEngine<'w> {
         acc
     }
 
+    /// Ids of the peers a single vantage saw on `day`, ascending — the
+    /// per-lane sighting set the snapshot store archives.
+    pub fn vantage_ids(&self, vantage: usize, day: u64) -> Vec<u32> {
+        let ids = self.ids(day);
+        let mut out = Vec::new();
+        for_each_set_bit(self.lane(vantage, self.di(day)), |i| out.push(ids[i]));
+        out
+    }
+
     /// Ids of the peers the first `k` vantages saw on `day`, ascending.
     pub fn union_prefix_ids(&self, day: u64, k: usize) -> Vec<u32> {
         let ids = self.ids(day);

@@ -30,7 +30,7 @@ pub enum VantageMode {
 }
 
 /// One monitoring router.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Vantage {
     /// Operating mode.
     pub mode: VantageMode,

@@ -6,8 +6,10 @@
 //! peer reside in the same ASN/country, we count the peer only once.
 //! Otherwise, each different IP is counted."
 
-use crate::ipchurn::collect_ip_stats;
+use crate::engine::HarvestEngine;
 use crate::fleet::Fleet;
+use crate::ipchurn::collect_ip_stats_from;
+use crate::source::SnapshotSource;
 use i2p_data::FxHashMap;
 use i2p_sim::world::World;
 
@@ -41,7 +43,17 @@ pub struct GeoReport {
 
 /// Computes Fig. 10 over the window.
 pub fn country_distribution(world: &World, fleet: &Fleet, days: std::ops::Range<u64>) -> GeoReport {
-    let stats = collect_ip_stats(world, fleet, days.clone());
+    let engine = HarvestEngine::build(world, fleet, days.clone());
+    country_distribution_from(&engine, days)
+}
+
+/// [`country_distribution`] off any source.
+pub fn country_distribution_from<S: SnapshotSource + ?Sized>(
+    src: &S,
+    days: std::ops::Range<u64>,
+) -> GeoReport {
+    let geo = src.geo();
+    let stats = collect_ip_stats_from(src, days.clone());
     let mut per_country: FxHashMap<usize, usize> = FxHashMap::default();
     let mut unresolved = 0usize;
     for s in stats.values() {
@@ -64,12 +76,12 @@ pub fn country_distribution(world: &World, fleet: &Fleet, days: std::ops::Range<
         .iter()
         .map(|&(c, n)| {
             cum += n;
-            if world.geo.is_censored(c) {
+            if geo.is_censored(c) {
                 censored_peers += n;
                 censored_countries += 1;
             }
             RankedRow {
-                label: world.geo.country_name(c).to_string(),
+                label: geo.country_name(c).to_string(),
                 peers: n,
                 cumulative_pct: 100.0 * cum as f64 / total.max(1) as f64,
             }
@@ -96,7 +108,16 @@ pub struct AsReport {
 
 /// Computes Fig. 11 over the window.
 pub fn as_distribution(world: &World, fleet: &Fleet, days: std::ops::Range<u64>) -> AsReport {
-    let stats = collect_ip_stats(world, fleet, days);
+    let engine = HarvestEngine::build(world, fleet, days.clone());
+    as_distribution_from(&engine, days)
+}
+
+/// [`as_distribution`] off any source.
+pub fn as_distribution_from<S: SnapshotSource + ?Sized>(
+    src: &S,
+    days: std::ops::Range<u64>,
+) -> AsReport {
+    let stats = collect_ip_stats_from(src, days);
     let mut per_as: FxHashMap<u32, usize> = FxHashMap::default();
     for s in stats.values() {
         for &a in &s.ases {
@@ -124,6 +145,7 @@ pub fn as_distribution(world: &World, fleet: &Fleet, days: std::ops::Range<u64>)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ipchurn::collect_ip_stats;
     use i2p_sim::world::WorldConfig;
 
     fn setup() -> (World, Fleet) {

@@ -8,6 +8,7 @@
 
 use crate::engine::HarvestEngine;
 use crate::fleet::Fleet;
+use crate::source::SnapshotSource;
 use i2p_data::{FxHashMap, FxHashSet, PeerIp};
 use i2p_sim::world::World;
 
@@ -50,21 +51,30 @@ pub fn collect_ip_stats(
     days: std::ops::Range<u64>,
 ) -> FxHashMap<u32, PeerIpStats> {
     let engine = HarvestEngine::build(world, fleet, days.clone());
+    collect_ip_stats_from(&engine, days)
+}
+
+/// [`collect_ip_stats`] off any source. A record publishes an address
+/// iff its `ipv4` field is set (capture fills it exactly when the peer
+/// publishes that day), so the observation stream carries everything
+/// the accumulation needs.
+pub fn collect_ip_stats_from<S: SnapshotSource + ?Sized>(
+    src: &S,
+    days: std::ops::Range<u64>,
+) -> FxHashMap<u32, PeerIpStats> {
+    let geo = src.geo();
+    let k = src.vantage_count();
     let mut stats: FxHashMap<u32, PeerIpStats> = FxHashMap::default();
     for day in days {
-        let d = day as i64;
-        // Only published addresses matter, so peers that publish
-        // nothing that day (the unknown-IP group) cost one reach draw.
-        engine.for_each_union_peer(day, fleet.vantages.len(), |peer| {
-            if !peer.publishes_ip(d) {
+        src.for_each_observation_ref(day, k, &mut |rec| {
+            if rec.ipv4.is_none() {
                 return;
             }
-            let entry = stats.entry(peer.id).or_default();
-            let v4 = peer.ipv4_on(d, &world.geo);
-            for ip in std::iter::once(v4).chain(peer.ipv6_on(d, &world.geo)) {
+            let entry = stats.entry(rec.peer_id).or_default();
+            for ip in rec.ips() {
                 entry.ips.insert(ip);
-                if let Some(loc) = world.geo.lookup(ip) {
-                    entry.ases.insert(world.geo.asn(loc.asn_id));
+                if let Some(loc) = geo.lookup(ip) {
+                    entry.ases.insert(geo.asn(loc.asn_id));
                     entry.countries.insert(loc.country);
                 }
             }
@@ -75,7 +85,16 @@ pub fn collect_ip_stats(
 
 /// Builds the Fig. 8 / Fig. 12 report.
 pub fn ip_churn_report(world: &World, fleet: &Fleet, days: std::ops::Range<u64>) -> IpChurnReport {
-    let stats = collect_ip_stats(world, fleet, days);
+    let engine = HarvestEngine::build(world, fleet, days.clone());
+    ip_churn_report_from(&engine, days)
+}
+
+/// [`ip_churn_report`] off any source.
+pub fn ip_churn_report_from<S: SnapshotSource + ?Sized>(
+    src: &S,
+    days: std::ops::Range<u64>,
+) -> IpChurnReport {
+    let stats = collect_ip_stats_from(src, days);
     const IP_BUCKETS: usize = 16;
     const AS_BUCKETS: usize = 10;
     let mut ip_hist = vec![0usize; IP_BUCKETS + 1];

@@ -33,8 +33,12 @@
 //!   thread-count-independent results (DESIGN.md §6).
 //! * [`closedloop`] — the Fig. 13 → Fig. 14 closed loop: the harvested
 //!   windowed blacklist drives the protocol-level censor.
+//! * [`source`] — the replay abstraction: [`source::SnapshotSource`] is
+//!   the query surface the figure pipelines consume, implemented by the
+//!   live [`engine::HarvestEngine`] and by `i2p-store`'s loaded
+//!   snapshots, with bit-identical figure output either way.
 //! * [`report`] — text renderers that print each figure/table in the
-//!   paper's layout.
+//!   paper's layout, plus machine-readable CSV twins.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,6 +57,7 @@ pub mod lab;
 pub mod observed;
 pub mod population;
 pub mod report;
+pub mod source;
 pub mod statsite;
 pub mod strategies;
 pub mod usability;
@@ -60,4 +65,5 @@ pub mod usability;
 pub use engine::HarvestEngine;
 pub use fleet::{Fleet, Vantage, VantageMode};
 pub use observed::ObservedRouterInfo;
+pub use source::SnapshotSource;
 pub use usability::WarmSubstrate;

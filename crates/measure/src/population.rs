@@ -1,7 +1,13 @@
 //! Population analyses: Figs. 2–6, on the indexed harvest engine.
+//!
+//! Each figure has a `*_from` variant that runs off any
+//! [`SnapshotSource`] — a live engine or a loaded `i2p-store` snapshot —
+//! with bit-identical results; the `(world, fleet, …)` entrypoints are
+//! thin wrappers that fill an engine and delegate.
 
 use crate::engine::HarvestEngine;
 use crate::fleet::{Fleet, Vantage, VantageMode};
+use crate::source::SnapshotSource;
 use i2p_data::{FxHashSet, PeerIp};
 use i2p_sim::world::World;
 
@@ -93,13 +99,22 @@ pub fn cumulative_by_router_count(
     days: std::ops::Range<u64>,
 ) -> Vec<(usize, usize)> {
     let fleet = Fleet::alternating(max_routers);
-    let day_count = days.clone().count().max(1);
     let engine = HarvestEngine::build(world, &fleet, days.clone());
+    cumulative_by_router_count_from(&engine, days)
+}
+
+/// [`cumulative_by_router_count`] off any source; the curve spans the
+/// source's own vantage list.
+pub fn cumulative_by_router_count_from<S: SnapshotSource + ?Sized>(
+    src: &S,
+    days: std::ops::Range<u64>,
+) -> Vec<(usize, usize)> {
+    let day_count = days.clone().count().max(1);
     // One cumulative-OR pass per day yields the whole 1..=n curve at
     // once; the naive path re-harvested every (day, prefix) pair.
-    let mut totals = vec![0usize; max_routers];
+    let mut totals = vec![0usize; src.vantage_count()];
     for d in days {
-        for (t, c) in totals.iter_mut().zip(engine.coverage_curve(d)) {
+        for (t, c) in totals.iter_mut().zip(src.coverage_curve(d)) {
             *t += c;
         }
     }
@@ -128,10 +143,15 @@ pub struct DailyCensus {
 /// Fig. 5 + Fig. 6 (single day): full-fleet census of peers and IPs.
 pub fn daily_census(world: &World, fleet: &Fleet, day: u64) -> DailyCensus {
     let engine = HarvestEngine::build(world, fleet, day..day + 1);
+    daily_census_from(&engine, day)
+}
+
+/// [`daily_census`] off any source (full-fleet union on `day`).
+pub fn daily_census_from<S: SnapshotSource + ?Sized>(src: &S, day: u64) -> DailyCensus {
     let mut v4: FxHashSet<PeerIp> = FxHashSet::default();
     let mut v6: FxHashSet<PeerIp> = FxHashSet::default();
     let mut census = DailyCensus::default();
-    engine.for_each_observation(day, fleet.vantages.len(), |rec| {
+    src.for_each_observation_ref(day, src.vantage_count(), &mut |rec| {
         census.peers += 1;
         if let Some(ip) = rec.ipv4 {
             v4.insert(ip);
@@ -158,22 +178,27 @@ pub fn daily_census(world: &World, fleet: &Fleet, day: u64) -> DailyCensus {
 /// hidden on another within the window.
 pub fn firewalled_hidden_overlap(world: &World, fleet: &Fleet, days: std::ops::Range<u64>) -> usize {
     let engine = HarvestEngine::build(world, fleet, days.clone());
+    firewalled_hidden_overlap_from(&engine, days)
+}
+
+/// [`firewalled_hidden_overlap`] off any source. The observation
+/// predicates mirror the world's reachability postures exactly
+/// (`Reach::Firewalled` ⇔ `is_firewalled`, `Reach::Hidden` ⇔
+/// `is_hidden` for observed online peers), so this needs only archived
+/// records — no `PeerRecord` access.
+pub fn firewalled_hidden_overlap_from<S: SnapshotSource + ?Sized>(
+    src: &S,
+    days: std::ops::Range<u64>,
+) -> usize {
     let mut fw: FxHashSet<u32> = FxHashSet::default();
     let mut hid: FxHashSet<u32> = FxHashSet::default();
+    let k = src.vantage_count();
     for d in days {
-        // Membership plus the day's reachability posture suffice — no
-        // record materialization. `reach_on` maps exactly onto the
-        // observation predicates: Firewalled ⇔ `is_firewalled`,
-        // Hidden ⇔ `is_hidden`.
-        engine.for_each_union_peer(d, fleet.vantages.len(), |peer| {
-            match peer.reach_on(d as i64) {
-                i2p_sim::peer::Reach::Firewalled => {
-                    fw.insert(peer.id);
-                }
-                i2p_sim::peer::Reach::Hidden => {
-                    hid.insert(peer.id);
-                }
-                _ => {}
+        src.for_each_observation_ref(d, k, &mut |rec| {
+            if rec.is_firewalled() {
+                fw.insert(rec.peer_id);
+            } else if rec.is_hidden() {
+                hid.insert(rec.peer_id);
             }
         });
     }

@@ -1,7 +1,12 @@
-//! Text renderers: print every figure/table in the paper's layout.
+//! Renderers: print every figure/table in the paper's layout, plus
+//! machine-readable CSV twins.
 //!
 //! Each renderer returns a `String` so benches can both print it and
 //! archive it; all numbers come straight from the analysis structs.
+//! The `csv_*` twins emit one header line and one data row per rendered
+//! entry (floats at fixed precision, so identical inputs give identical
+//! bytes); lines starting with `#` carry the figure's scalar footers
+//! and are comments to CSV consumers.
 
 use crate::capacity::{BandwidthTable, CapacityHistogram, FloodfillEstimate};
 use crate::censor::BlockingSeries;
@@ -261,9 +266,173 @@ pub fn render_fig14(points: &[UsabilityPoint]) -> String {
     out
 }
 
+/// Fig. 2 CSV twin: `day,mode,observed_peers`.
+pub fn csv_fig2(s: &SingleRouterSeries) -> String {
+    let mut out = String::from("day,mode,observed_peers\n");
+    for (d, n) in &s.floodfill {
+        let _ = writeln!(out, "{d},floodfill,{n}");
+    }
+    for (d, n) in &s.non_floodfill {
+        let _ = writeln!(out, "{d},non-floodfill,{n}");
+    }
+    out
+}
+
+/// Fig. 4 CSV twin: `routers,observed_peers,pct_of_max`.
+pub fn csv_fig4(curve: &[(usize, usize)]) -> String {
+    let mut out = String::from("routers,observed_peers,pct_of_max\n");
+    let max = curve.last().map(|&(_, n)| n).unwrap_or(1).max(1);
+    for &(k, n) in curve {
+        let _ = writeln!(out, "{k},{n},{:.1}", 100.0 * n as f64 / max as f64);
+    }
+    out
+}
+
+/// Fig. 5 CSV twin: `day,peers,all_ips,ipv4,ipv6`.
+pub fn csv_fig5(series: &[(u64, DailyCensus)]) -> String {
+    let mut out = String::from("day,peers,all_ips,ipv4,ipv6\n");
+    for (d, c) in series {
+        let _ = writeln!(out, "{d},{},{},{},{}", c.peers, c.all_ips, c.ipv4, c.ipv6);
+    }
+    out
+}
+
+/// Fig. 6 CSV twin: `day,unknown_ip,firewalled,hidden` plus a
+/// `# window-overlap` comment footer.
+pub fn csv_fig6(series: &[(u64, DailyCensus)], overlap: usize) -> String {
+    let mut out = String::from("day,unknown_ip,firewalled,hidden\n");
+    for (d, c) in series {
+        let _ = writeln!(out, "{d},{},{},{}", c.unknown_ip, c.firewalled, c.hidden);
+    }
+    let _ = writeln!(out, "# window-overlap,{overlap}");
+    out
+}
+
+/// Fig. 7 CSV twin: `days,continuous_pct,intermittent_pct`.
+pub fn csv_fig7(c: &ChurnCurves, days: &[usize]) -> String {
+    let mut out = String::from("days,continuous_pct,intermittent_pct\n");
+    for &n in days {
+        let _ = writeln!(out, "{n},{:.2},{:.2}", c.continuous_at(n), c.intermittent_at(n));
+    }
+    let _ = writeln!(out, "# cohort,{}", c.cohort);
+    out
+}
+
+/// Fig. 8 CSV twin: `ips,peers,pct_of_known_ip`.
+pub fn csv_fig8(r: &IpChurnReport) -> String {
+    let mut out = String::from("ips,peers,pct_of_known_ip\n");
+    for (k, &n) in r.ip_hist.iter().enumerate().skip(1) {
+        let label = if k == r.ip_hist.len() - 1 { format!("{k}+") } else { k.to_string() };
+        let _ = writeln!(
+            out,
+            "{label},{n},{:.2}",
+            100.0 * n as f64 / r.known_ip_peers.max(1) as f64
+        );
+    }
+    let _ = writeln!(out, "# known-ip-peers,{}", r.known_ip_peers);
+    out
+}
+
+/// Fig. 9 CSV twin: `class,observed_peers`.
+pub fn csv_fig9(h: &CapacityHistogram) -> String {
+    let mut out = String::from("class,observed_peers\n");
+    for (i, letter) in ['K', 'L', 'M', 'N', 'O', 'P', 'X'].iter().enumerate() {
+        let _ = writeln!(out, "{letter},{}", h.counts[i]);
+    }
+    out
+}
+
+/// Table 1 CSV twin: per-class group percentages plus estimate footers.
+pub fn csv_table1(t: &BandwidthTable, est: &FloodfillEstimate) -> String {
+    let mut out =
+        String::from("class,floodfill_pct,reachable_pct,unreachable_pct,total_pct\n");
+    for (i, letter) in ['K', 'L', 'M', 'N', 'O', 'P', 'X'].iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{letter},{:.2},{:.2},{:.2},{:.2}",
+            t.floodfill[i], t.reachable[i], t.unreachable[i], t.total[i]
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# group-sizes,{},{},{},{}",
+        t.group_sizes[0], t.group_sizes[1], t.group_sizes[2], t.group_sizes[3]
+    );
+    let _ = writeln!(
+        out,
+        "# floodfill-estimate,{},{},{:.4},{:.0}",
+        est.qualified_floodfills,
+        est.observed_floodfills,
+        est.qualified_share,
+        est.estimated_population
+    );
+    out
+}
+
+/// Fig. 10 CSV twin: `rank,country,peers,cumulative_pct`.
+pub fn csv_fig10(rep: &GeoReport, top: usize) -> String {
+    let mut out = String::from("rank,country,peers,cumulative_pct\n");
+    for (i, row) in rep.rows.iter().take(top).enumerate() {
+        let _ = writeln!(out, "{},{},{},{:.1}", i + 1, row.label, row.peers, row.cumulative_pct);
+    }
+    let _ = writeln!(
+        out,
+        "# censored,{},{} # observed,{} # unresolved,{}",
+        rep.censored_countries, rep.censored_peers, rep.countries_observed, rep.unresolved_addresses
+    );
+    out
+}
+
+/// Fig. 11 CSV twin: `rank,asn,peers,cumulative_pct`.
+pub fn csv_fig11(rep: &AsReport, top: usize) -> String {
+    let mut out = String::from("rank,asn,peers,cumulative_pct\n");
+    for (i, row) in rep.rows.iter().take(top).enumerate() {
+        let _ = writeln!(out, "{},{},{},{:.1}", i + 1, row.label, row.peers, row.cumulative_pct);
+    }
+    out
+}
+
+/// Fig. 12 CSV twin: `ases,peers,pct_of_multi_ip`.
+pub fn csv_fig12(r: &IpChurnReport) -> String {
+    let mut out = String::from("ases,peers,pct_of_multi_ip\n");
+    for (k, &n) in r.as_hist.iter().enumerate().skip(1) {
+        let label = if k == r.as_hist.len() - 1 { format!("{k}+") } else { k.to_string() };
+        let _ = writeln!(out, "{label},{n},{:.2}", 100.0 * n as f64 / r.multi_ip_peers.max(1) as f64);
+    }
+    let _ = writeln!(out, "# max-ases,{} # max-countries,{}", r.max_ases, r.max_countries);
+    out
+}
+
+/// Fig. 14 CSV twin:
+/// `blocking_pct,timeout_pct,timeout_ci95,load_s,load_ci95,replicates,fetches`.
+pub fn csv_fig14(points: &[UsabilityPoint]) -> String {
+    let mut out =
+        String::from("blocking_pct,timeout_pct,timeout_ci95,load_s,load_ci95,replicates,fetches\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:.0},{:.1},{:.2},{:.2},{:.2},{},{}",
+            p.blocking_rate_pct,
+            p.timeout_pct,
+            p.timeout_ci95_pct,
+            p.avg_load_time_s,
+            p.load_ci95_s,
+            p.replicates,
+            p.fetches.len()
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Data rows of a CSV blob: everything after the header line that
+    /// is not a `#` comment.
+    fn csv_rows(csv: &str) -> Vec<&str> {
+        csv.lines().skip(1).filter(|l| !l.starts_with('#')).collect()
+    }
 
     #[test]
     fn renderers_produce_rows() {
@@ -299,5 +468,116 @@ mod tests {
         assert!(fig14.contains("21.5 ± 3.2 s"));
         assert!(fig14.contains("40% ± 9.8"));
         assert!(fig14.contains("3 replicate"));
+    }
+
+    #[test]
+    fn csv_twins_parse_back_and_match_text_row_counts() {
+        // Fig. 2: 5 + 5 data rows, same count as the text renderer's.
+        let series = SingleRouterSeries {
+            floodfill: (1..=5).map(|d| (d, 100 + d as usize)).collect(),
+            non_floodfill: (6..=10).map(|d| (d, 90 + d as usize)).collect(),
+        };
+        // Text data rows are exactly the lines naming a mode.
+        let text_rows =
+            render_fig2(&series).lines().filter(|l| l.contains("floodfill")).count();
+        let csv = csv_fig2(&series);
+        let rows = csv_rows(&csv);
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows.len(), text_rows);
+        for row in &rows {
+            let cols: Vec<&str> = row.split(',').collect();
+            assert_eq!(cols.len(), 3);
+            cols[0].parse::<u64>().unwrap();
+            assert!(cols[1] == "floodfill" || cols[1] == "non-floodfill");
+            cols[2].parse::<usize>().unwrap();
+        }
+
+        // Fig. 4: one row per curve point; percentages parse as f64 and
+        // the last row is 100.0 % of max.
+        let curve = vec![(1, 100), (2, 150), (3, 170)];
+        let csv = csv_fig4(&curve);
+        let rows = csv_rows(&csv);
+        assert_eq!(rows.len(), curve.len());
+        let text_rows = render_fig4(&curve)
+            .lines()
+            .filter(|l| l.trim_start().chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .count();
+        assert_eq!(rows.len(), text_rows);
+        let last: Vec<&str> = rows.last().unwrap().split(',').collect();
+        assert_eq!(last[2].parse::<f64>().unwrap(), 100.0);
+
+        // Fig. 14: all seven columns parse; row count matches text.
+        let points = vec![
+            UsabilityPoint {
+                blocking_rate_pct: 0.0,
+                avg_load_time_s: 3.4,
+                timeout_pct: 0.0,
+                load_ci95_s: 0.2,
+                timeout_ci95_pct: 0.0,
+                replicates: 2,
+                fetches: vec![],
+            },
+            UsabilityPoint {
+                blocking_rate_pct: 65.0,
+                avg_load_time_s: 21.5,
+                timeout_pct: 40.0,
+                load_ci95_s: 3.2,
+                timeout_ci95_pct: 9.8,
+                replicates: 2,
+                fetches: vec![],
+            },
+        ];
+        let csv = csv_fig14(&points);
+        let rows = csv_rows(&csv);
+        assert_eq!(rows.len(), points.len());
+        let text_rows = render_fig14(&points)
+            .lines()
+            .filter(|l| l.trim_start().chars().next().is_some_and(|c| c.is_ascii_digit())
+                && l.contains('%'))
+            .count();
+        assert_eq!(rows.len(), text_rows);
+        for row in &rows {
+            let cols: Vec<&str> = row.split(',').collect();
+            assert_eq!(cols.len(), 7);
+            for c in &cols[..5] {
+                c.parse::<f64>().unwrap();
+            }
+            assert_eq!(cols[5].parse::<usize>().unwrap(), 2);
+        }
+
+        // The remaining twins: header column count equals every data
+        // row's column count, and numeric columns parse.
+        let churn = ChurnCurves {
+            continuous: vec![100.0, 80.0, 60.0],
+            intermittent: vec![100.0, 90.0, 70.0],
+            cohort: 42,
+        };
+        let census = vec![
+            (0u64, DailyCensus { peers: 10, all_ips: 8, ipv4: 6, ipv6: 2, unknown_ip: 4, firewalled: 3, hidden: 1 }),
+            (3u64, DailyCensus { peers: 12, all_ips: 9, ipv4: 7, ipv6: 2, unknown_ip: 5, firewalled: 4, hidden: 1 }),
+        ];
+        let ipchurn = IpChurnReport {
+            ip_hist: vec![0, 5, 3, 1],
+            as_hist: vec![0, 3, 1],
+            known_ip_peers: 9,
+            multi_ip_peers: 4,
+            over_100_ips: 0,
+            max_ases: 3,
+            max_countries: 2,
+        };
+        for csv in [
+            csv_fig5(&census),
+            csv_fig6(&census, 7),
+            csv_fig7(&churn, &[1, 2]),
+            csv_fig8(&ipchurn),
+            csv_fig12(&ipchurn),
+        ] {
+            let header_cols = csv.lines().next().unwrap().split(',').count();
+            let rows = csv_rows(&csv);
+            assert!(!rows.is_empty());
+            for row in rows {
+                assert_eq!(row.split(',').count(), header_cols, "row {row:?} in {csv}");
+            }
+        }
     }
 }

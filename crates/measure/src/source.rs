@@ -1,0 +1,102 @@
+//! The replay abstraction: one query surface for live harvests and
+//! archived snapshots.
+//!
+//! The paper's analyses all ran *offline*, against an archive of netDb
+//! harvests collected over weeks — the fleet ran once, the figures ran
+//! forever. [`SnapshotSource`] is that separation line in this
+//! reproduction: every figure pipeline that used to reach into a
+//! [`HarvestEngine`] now consumes this trait, so the same pipeline runs
+//! off either a freshly filled engine (live) or a loaded `i2p-store`
+//! snapshot (replay) with **bit-identical** output. The contract the
+//! two implementations share:
+//!
+//! * per-day peer sets are iterated in ascending peer-id order;
+//! * union/prefix counts are cardinalities of the same sets the engine
+//!   computes (the snapshot stores the engine's own sighting sets);
+//! * observation records are exactly the [`ObservedRouterInfo`]s the
+//!   engine materializes (the snapshot archives them verbatim).
+//!
+//! `tests/store_replay.rs` in the umbrella crate pins the byte-identity
+//! end to end (text and CSV figure renders, live vs replayed).
+
+use crate::engine::HarvestEngine;
+use crate::observed::ObservedRouterInfo;
+use i2p_geoip::GeoDb;
+use std::ops::Range;
+
+/// A queryable harvested dataset: either a live [`HarvestEngine`] or a
+/// loaded snapshot.
+pub trait SnapshotSource {
+    /// The day range the dataset covers.
+    fn days(&self) -> Range<u64>;
+
+    /// Number of vantages harvested (prefix order is fixed).
+    fn vantage_count(&self) -> usize;
+
+    /// The geo database observations resolve against. Live sources
+    /// return the world's; snapshots rebuild the (deterministic,
+    /// parameter-free) synthetic database.
+    fn geo(&self) -> &GeoDb;
+
+    /// Peers a single vantage saw on `day`.
+    fn count_one(&self, vantage: usize, day: u64) -> usize;
+
+    /// Peers the first `k` vantages saw on `day`.
+    fn count_union_prefix(&self, day: u64, k: usize) -> usize;
+
+    /// Fig. 4's cumulative coverage: `curve[k-1]` = peers seen by the
+    /// first `k` vantages on `day`.
+    fn coverage_curve(&self, day: u64) -> Vec<usize>;
+
+    /// Visits the id of every peer the first `k` vantages saw on `day`,
+    /// ascending.
+    fn for_each_union_id(&self, day: u64, k: usize, f: &mut dyn FnMut(u32));
+
+    /// Visits the observation record of every peer the first `k`
+    /// vantages saw on `day`, ascending by peer id.
+    fn for_each_observation_ref(
+        &self,
+        day: u64,
+        k: usize,
+        f: &mut dyn FnMut(&ObservedRouterInfo),
+    );
+}
+
+impl SnapshotSource for HarvestEngine<'_> {
+    fn days(&self) -> Range<u64> {
+        HarvestEngine::days(self)
+    }
+
+    fn vantage_count(&self) -> usize {
+        self.vantages().len()
+    }
+
+    fn geo(&self) -> &GeoDb {
+        &self.world().geo
+    }
+
+    fn count_one(&self, vantage: usize, day: u64) -> usize {
+        HarvestEngine::count_one(self, vantage, day)
+    }
+
+    fn count_union_prefix(&self, day: u64, k: usize) -> usize {
+        HarvestEngine::count_union_prefix(self, day, k)
+    }
+
+    fn coverage_curve(&self, day: u64) -> Vec<usize> {
+        HarvestEngine::coverage_curve(self, day)
+    }
+
+    fn for_each_union_id(&self, day: u64, k: usize, f: &mut dyn FnMut(u32)) {
+        self.for_each_union_peer(day, k, |peer| f(peer.id));
+    }
+
+    fn for_each_observation_ref(
+        &self,
+        day: u64,
+        k: usize,
+        f: &mut dyn FnMut(&ObservedRouterInfo),
+    ) {
+        self.for_each_observation(day, k, |rec| f(&rec));
+    }
+}

@@ -1,0 +1,103 @@
+//! Snapshot wire-format constants and checksum helpers.
+//!
+//! ```text
+//! file    := magic version header segment* trailer
+//! magic   := b"I2PSNAP\x01"                      (8 bytes)
+//! version := u16                                  (currently 1)
+//! header  := u32 len, body, check64(body)         (world + fleet meta)
+//! segment := 0x5E, u32 len, body, check64(body)   (one harvested day)
+//! trailer := 0xF7, check64(every byte before 0xF7)
+//! ```
+//!
+//! Every region of the file is covered by at least one checksum, so any
+//! single-byte corruption is detected at load time (pinned by the
+//! `every_corruption_detected` test in `snapshot.rs`). The checksum is
+//! a fast 64-bit *integrity* hash, not a cryptographic digest: every
+//! update step is bijective in the running state, so corrupting any one
+//! input lane provably changes the result, and it runs at memory speed
+//! — snapshot load stays cheaper than world regeneration, which is the
+//! subsystem's reason to exist. *Authenticity* is layered separately:
+//! each archived RouterInfo wire record carries an HMAC-SHA256
+//! signature (`Snapshot::verify_router_infos`).
+
+/// File magic: "I2PSNAP" plus a format-generation byte.
+pub const MAGIC: [u8; 8] = *b"I2PSNAP\x01";
+
+/// Current format version. Bump on any layout change; readers reject
+/// other versions with [`crate::StoreError::UnsupportedVersion`].
+pub const VERSION: u16 = 1;
+
+/// Tag byte opening a per-day segment.
+pub const SEGMENT_TAG: u8 = 0x5E;
+
+/// Tag byte opening the end-of-file trailer.
+pub const TRAILER_TAG: u8 = 0xF7;
+
+/// Observation-row flag: a published IPv4 address follows.
+pub const FLAG_IPV4: u8 = 0b001;
+/// Observation-row flag: a published IPv6 address follows.
+pub const FLAG_IPV6: u8 = 0b010;
+/// Observation-row flag: the RouterInfo lists introducers (firewalled).
+pub const FLAG_INTRODUCERS: u8 = 0b100;
+/// All defined observation-row flags.
+pub const FLAG_MASK: u8 = FLAG_IPV4 | FLAG_IPV6 | FLAG_INTRODUCERS;
+
+/// Bytes of a [`checksum`] value.
+pub const CHECKSUM_LEN: usize = 8;
+
+/// Odd multiplier (golden-ratio constant) — multiplication by an odd
+/// constant is a bijection on `u64`, which is what makes corruption
+/// detection provable rather than probabilistic.
+const M: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The 8-byte integrity checksum of `data`.
+///
+/// 64-bit lanes folded as `h = xorshift((h ^ lane) * M)`: every step is
+/// bijective in `h`, so two inputs of equal length that differ in
+/// exactly one lane can never collide. The input length is mixed into
+/// the initial state, and the final avalanche is bijective too.
+pub fn checksum(data: &[u8]) -> [u8; CHECKSUM_LEN] {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (data.len() as u64).wrapping_mul(M);
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let lane = u64::from_le_bytes(c.try_into().expect("exact chunk"));
+        h = (h ^ lane).wrapping_mul(M);
+        h ^= h >> 29;
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut last = [0u8; 8];
+        last[..rem.len()].copy_from_slice(rem);
+        h = (h ^ u64::from_le_bytes(last)).wrapping_mul(M);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h.to_be_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_detects_every_single_byte_flip() {
+        let data: Vec<u8> = (0..997u32).map(|i| (i * 31 % 251) as u8).collect();
+        let base = checksum(&data);
+        for pos in 0..data.len() {
+            for bit in 0..8 {
+                let mut bad = data.clone();
+                bad[pos] ^= 1 << bit;
+                assert_ne!(checksum(&bad), base, "flip bit {bit} of byte {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_distinguishes_lengths_and_padding() {
+        assert_ne!(checksum(b""), checksum(b"\0"));
+        assert_ne!(checksum(b"abc"), checksum(b"abc\0"));
+        assert_ne!(checksum(b"abcdefgh"), checksum(b"abcdefgh\0\0\0"));
+        assert_eq!(checksum(b"stable"), checksum(b"stable"));
+    }
+}

@@ -1,0 +1,294 @@
+//! Snapshot wire encode/decode (layout in `format.rs` / DESIGN.md §7).
+
+use crate::format::{
+    checksum, CHECKSUM_LEN, FLAG_INTRODUCERS, FLAG_IPV4, FLAG_IPV6, FLAG_MASK, MAGIC,
+    SEGMENT_TAG, TRAILER_TAG, VERSION,
+};
+use crate::snapshot::{mode_from_tag, mode_tag, DaySegment, Snapshot, SnapshotMeta};
+use crate::StoreError;
+use i2p_data::codec::{Reader, Writer};
+use i2p_data::{Caps, CapsString, Hash256, PeerIp};
+use i2p_measure::fleet::Vantage;
+use i2p_measure::observed::ObservedRouterInfo;
+
+pub(crate) fn encode(snap: &Snapshot) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bytes(&MAGIC);
+    w.u16(VERSION);
+
+    // Header: world + fleet metadata, independently checksummed.
+    let header = encode_header(snap.meta());
+    w.u32(header.len() as u32);
+    w.bytes(&header);
+    w.bytes(&checksum(&header));
+
+    // One segment per harvested day.
+    for seg in &snap.days {
+        let body = encode_segment(seg);
+        w.u8(SEGMENT_TAG);
+        w.u32(body.len() as u32);
+        w.bytes(&body);
+        w.bytes(&checksum(&body));
+    }
+
+    // Trailer: whole-file checksum over everything before the tag.
+    let mut out = w.into_bytes();
+    let file_sum = checksum(&out);
+    out.push(TRAILER_TAG);
+    out.extend_from_slice(&file_sum);
+    out
+}
+
+fn encode_header(meta: &SnapshotMeta) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(meta.world_days);
+    w.u64(meta.world_scale.to_bits());
+    w.u64(meta.world_seed);
+    w.u64(meta.total_peers);
+    w.u64(meta.day_start);
+    w.u32(meta.n_days);
+    w.u16(meta.vantages.len() as u16);
+    for v in &meta.vantages {
+        w.u8(mode_tag(v.mode));
+        w.u32(v.shared_kbps);
+        w.u64(v.salt);
+    }
+    w.into_bytes()
+}
+
+fn encode_segment(seg: &DaySegment) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(seg.day);
+    // The observed-router table, ascending by peer id: delta-varint ids,
+    // the peer hash, the exact observed caps letters, address fields,
+    // and the full RouterInfo wire record.
+    w.varint(seg.observations.len() as u64);
+    let mut prev_id = 0u32;
+    for (i, (obs, ri)) in seg.observations.iter().zip(&seg.router_infos).enumerate() {
+        let delta = if i == 0 { obs.peer_id as u64 } else { (obs.peer_id - prev_id) as u64 };
+        w.varint(delta);
+        prev_id = obs.peer_id;
+        w.bytes(&obs.hash.0);
+        w.string(&obs.caps);
+        let mut flags = 0u8;
+        if obs.ipv4.is_some() {
+            flags |= FLAG_IPV4;
+        }
+        if obs.ipv6.is_some() {
+            flags |= FLAG_IPV6;
+        }
+        if obs.has_introducers {
+            flags |= FLAG_INTRODUCERS;
+        }
+        w.u8(flags);
+        if let Some(ip) = obs.ipv4 {
+            encode_ip(&mut w, ip);
+        }
+        if let Some(ip) = obs.ipv6 {
+            encode_ip(&mut w, ip);
+        }
+        w.varint(ri.len() as u64);
+        w.bytes(ri);
+    }
+    // Per-vantage sighting sets as strictly-ascending position runs.
+    for lane in &seg.lanes {
+        let mut positions = Vec::new();
+        for (j, &word) in lane.iter().enumerate() {
+            let mut wrd = word;
+            while wrd != 0 {
+                positions.push((j * 64 + wrd.trailing_zeros() as usize) as u32);
+                wrd &= wrd - 1;
+            }
+        }
+        w.id_run(&positions);
+    }
+    w.into_bytes()
+}
+
+fn encode_ip(w: &mut Writer, ip: PeerIp) {
+    match ip {
+        PeerIp::V4(v) => {
+            w.u8(4);
+            w.u32(v);
+        }
+        PeerIp::V6(v) => {
+            w.u8(6);
+            w.u64((v >> 64) as u64);
+            w.u64(v as u64);
+        }
+    }
+}
+
+pub(crate) fn decode(bytes: &[u8]) -> Result<Snapshot, StoreError> {
+    let mut r = Reader::new(bytes);
+    if r.bytes(MAGIC.len(), "snapshot.magic")? != MAGIC.as_slice() {
+        return Err(StoreError::Corrupt { what: "magic" });
+    }
+    let version = r.u16("snapshot.version")?;
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+    let header_len = r.u32("snapshot.header-len")? as usize;
+    let header = r.bytes(header_len, "snapshot.header")?;
+    if r.bytes(CHECKSUM_LEN, "snapshot.header-checksum")? != checksum(header).as_slice() {
+        return Err(StoreError::Corrupt { what: "header checksum" });
+    }
+    let meta = decode_header(header)?;
+
+    if meta.n_days as usize > r.remaining() {
+        // Every day segment costs well over one byte (tag + length +
+        // checksum); bound the capacity hint by what the file can hold
+        // so a hostile header cannot force a huge allocation.
+        return Err(StoreError::Corrupt { what: "day count" });
+    }
+    let mut days = Vec::with_capacity(meta.n_days as usize);
+    loop {
+        match r.u8("snapshot.tag")? {
+            SEGMENT_TAG => {
+                let body_len = r.u32("snapshot.segment-len")? as usize;
+                // Position bookkeeping for the trailer check below.
+                let body = r.bytes(body_len, "snapshot.segment")?;
+                if r.bytes(CHECKSUM_LEN, "snapshot.segment-checksum")? != checksum(body).as_slice()
+                {
+                    return Err(StoreError::Corrupt { what: "segment checksum" });
+                }
+                days.push(decode_segment(body, meta.vantages.len())?);
+            }
+            TRAILER_TAG => {
+                let covered = bytes.len() - r.remaining() - 1;
+                if r.bytes(CHECKSUM_LEN, "snapshot.trailer-checksum")?
+                    != checksum(&bytes[..covered]).as_slice()
+                {
+                    return Err(StoreError::Corrupt { what: "file checksum" });
+                }
+                if !r.is_empty() {
+                    return Err(StoreError::Corrupt { what: "trailing bytes" });
+                }
+                break;
+            }
+            _ => return Err(StoreError::Corrupt { what: "unknown tag" }),
+        }
+    }
+    if days.len() != meta.n_days as usize {
+        return Err(StoreError::Corrupt { what: "day count" });
+    }
+    let start = meta.day_start;
+    for (i, seg) in days.iter().enumerate() {
+        if seg.day != start + i as u64 {
+            return Err(StoreError::Corrupt { what: "day sequence" });
+        }
+    }
+    Ok(Snapshot::from_parts(meta, days))
+}
+
+fn decode_header(bytes: &[u8]) -> Result<SnapshotMeta, StoreError> {
+    let mut r = Reader::new(bytes);
+    let world_days = r.u64("header.world-days")?;
+    let world_scale = f64::from_bits(r.u64("header.world-scale")?);
+    let world_seed = r.u64("header.world-seed")?;
+    let total_peers = r.u64("header.total-peers")?;
+    let day_start = r.u64("header.day-start")?;
+    let n_days = r.u32("header.n-days")?;
+    let n_vantages = r.u16("header.n-vantages")? as usize;
+    let mut vantages = Vec::with_capacity(n_vantages);
+    for _ in 0..n_vantages {
+        let mode = mode_from_tag(r.u8("header.vantage-mode")?)?;
+        let shared_kbps = r.u32("header.vantage-bandwidth")?;
+        let salt = r.u64("header.vantage-salt")?;
+        vantages.push(Vantage { mode, shared_kbps, salt });
+    }
+    if !r.is_empty() {
+        return Err(StoreError::Corrupt { what: "header trailing bytes" });
+    }
+    Ok(SnapshotMeta {
+        world_days,
+        world_scale,
+        world_seed,
+        total_peers,
+        vantages,
+        day_start,
+        n_days,
+    })
+}
+
+fn decode_segment(bytes: &[u8], n_vantages: usize) -> Result<DaySegment, StoreError> {
+    let mut r = Reader::new(bytes);
+    let day = r.u64("segment.day")?;
+    let n_rows = r.varint("segment.row-count")? as usize;
+    if n_rows > r.remaining() {
+        // Every row costs well over one byte; bail before allocating.
+        return Err(StoreError::Corrupt { what: "row count" });
+    }
+    let mut observations = Vec::with_capacity(n_rows);
+    let mut router_infos = Vec::with_capacity(n_rows);
+    let mut prev_id = 0u64;
+    for i in 0..n_rows {
+        let delta = r.varint("row.id-delta")?;
+        if (i > 0 && delta == 0) || delta > u32::MAX as u64 {
+            return Err(StoreError::Corrupt { what: "row id order" });
+        }
+        let peer_id = if i == 0 { delta } else { prev_id + delta };
+        if peer_id > u32::MAX as u64 {
+            return Err(StoreError::Corrupt { what: "row id range" });
+        }
+        prev_id = peer_id;
+        let hash = Hash256(r.array32("row.hash")?);
+        let caps_str = r.string("row.caps")?;
+        if caps_str.len() > CapsString::CAPACITY || !caps_str.is_ascii() {
+            return Err(StoreError::Corrupt { what: "row caps length" });
+        }
+        if Caps::parse(&caps_str).is_err() {
+            return Err(StoreError::Corrupt { what: "row caps letters" });
+        }
+        let flags = r.u8("row.flags")?;
+        if flags & !FLAG_MASK != 0 {
+            return Err(StoreError::Corrupt { what: "row flags" });
+        }
+        let ipv4 =
+            if flags & FLAG_IPV4 != 0 { Some(decode_ip(&mut r, "row.ipv4")?) } else { None };
+        let ipv6 =
+            if flags & FLAG_IPV6 != 0 { Some(decode_ip(&mut r, "row.ipv6")?) } else { None };
+        let ri_len = r.varint("row.routerinfo-len")? as usize;
+        let ri = r.bytes(ri_len, "row.routerinfo")?.to_vec();
+        observations.push(ObservedRouterInfo {
+            hash,
+            peer_id: peer_id as u32,
+            caps: CapsString::from(caps_str.as_str()),
+            ipv4,
+            ipv6,
+            has_introducers: flags & FLAG_INTRODUCERS != 0,
+            day,
+        });
+        router_infos.push(ri);
+    }
+    let words = n_rows.div_ceil(64);
+    let mut lanes = Vec::with_capacity(n_vantages);
+    for _ in 0..n_vantages {
+        let positions = r.id_run("segment.lane")?;
+        let mut lane = vec![0u64; words];
+        for pos in positions {
+            let pos = pos as usize;
+            if pos >= n_rows {
+                return Err(StoreError::Corrupt { what: "lane position" });
+            }
+            lane[pos / 64] |= 1u64 << (pos % 64);
+        }
+        lanes.push(lane);
+    }
+    if !r.is_empty() {
+        return Err(StoreError::Corrupt { what: "segment trailing bytes" });
+    }
+    Ok(DaySegment { day, observations, router_infos, lanes, words })
+}
+
+fn decode_ip(r: &mut Reader<'_>, what: &'static str) -> Result<PeerIp, StoreError> {
+    match r.u8(what)? {
+        4 => Ok(PeerIp::V4(r.u32(what)?)),
+        6 => {
+            let hi = r.u64(what)? as u128;
+            let lo = r.u64(what)? as u128;
+            Ok(PeerIp::V6(hi << 64 | lo))
+        }
+        _ => Err(StoreError::Corrupt { what: "ip kind" }),
+    }
+}

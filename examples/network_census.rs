@@ -1,45 +1,23 @@
 //! Network census: the paper's §5 measurements end to end on a scaled
-//! world — population, unknown-IP decomposition, capacity flags, the
-//! floodfill population estimate, and the geography of peers.
+//! world — population, unknown-IP decomposition, churn, capacity flags,
+//! the floodfill population estimate, and the geography of peers.
+//!
+//! This example is the `i2pscope census` subcommand at example scale:
+//! it calls the CLI's library entrypoint, so the walkthrough and the
+//! binary share one code path (`cargo run --release --bin i2pscope --
+//! census --scale 0.1 --days 30` prints the identical report).
 //!
 //! ```sh
 //! cargo run --release --example network_census
 //! ```
 
-use i2pscope::measure::capacity::{bandwidth_table, capacity_histogram, floodfill_estimate};
-use i2pscope::measure::fleet::Fleet;
-use i2pscope::measure::geo::{as_distribution, country_distribution};
-use i2pscope::measure::population::{daily_census, firewalled_hidden_overlap};
-use i2pscope::measure::report;
-use i2pscope::sim::world::{World, WorldConfig};
+use i2pscope::cli::{self, FigId, Format, Knobs};
 
 fn main() {
-    let days = 30u64;
-    let world = World::generate(WorldConfig { days, scale: 0.1, seed: 20180201 });
-    let fleet = Fleet::paper_main();
-    println!(
-        "world: {} peers over {days} days, ~{} online daily; fleet: {} monitoring routers\n",
-        world.total_peers(),
-        world.online_count(1),
-        fleet.vantages.len()
-    );
-
-    // Fig. 5 / Fig. 6.
-    let series: Vec<_> = (0..days).step_by(3).map(|d| (d, daily_census(&world, &fleet, d))).collect();
-    println!("{}", report::render_fig5(&series));
-    let overlap = firewalled_hidden_overlap(&world, &fleet, 0..days);
-    println!("{}", report::render_fig6(&series, overlap));
-
-    // Fig. 9 / Table 1.
-    let hist = capacity_histogram(&world, &fleet, 2..10);
-    println!("{}", report::render_fig9(&hist));
-    let table = bandwidth_table(&world, &fleet, 5);
-    let est = floodfill_estimate(&world, &fleet, 5);
-    println!("{}", report::render_table1(&table, &est));
-
-    // Fig. 10 / Fig. 11.
-    let geo = country_distribution(&world, &fleet, 0..days);
-    println!("{}", report::render_fig10(&geo, 20));
-    let ases = as_distribution(&world, &fleet, 0..days);
-    println!("{}", report::render_fig11(&ases, 20));
+    let knobs = Knobs {
+        scale: 0.1,
+        days: 30,
+        ..Knobs::from_env()
+    };
+    print!("{}", cli::census(&knobs, Format::Text, &FigId::ALL));
 }

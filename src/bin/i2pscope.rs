@@ -1,0 +1,131 @@
+//! `i2pscope` — the measurement tool's command line.
+//!
+//! ```text
+//! i2pscope census  [--format text|csv] [--fig LIST] [knobs]
+//! i2pscope harvest --out FILE [knobs]
+//! i2pscope figures (--from FILE | --live) [--format text|csv]
+//!                  [--fig LIST] [--verify] [knobs]
+//! i2pscope sweep   [--format text|csv] [knobs]
+//!
+//! knobs: --scale F  --seed N  --days N  --fleet N
+//!        --replicates N  --threads N
+//!        (defaults come from the I2PSCOPE_* environment variables)
+//! ```
+
+use i2pscope::cli::{self, FigId, Format, Knobs};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: i2pscope <command> [options]
+
+commands:
+  census                 generate a world, harvest it live, print the
+                         full measurement report
+  harvest --out FILE     archive the harvested dataset as a snapshot
+  figures --from FILE    render the paper's figures from a snapshot
+  figures --live         render the same figures from a live harvest
+  sweep                  run the Fig. 14 usability sweep (TestNet)
+
+options:
+  --format text|csv      output format (default text)
+  --fig LIST             comma-separated figures, e.g. 4,5,table1
+                         (default all: 4,5,6,7,8,9,10,11,12,table1)
+  --verify               figures --from: also decode and signature-
+                         verify every archived RouterInfo record
+  --scale F --seed N --days N --fleet N --replicates N --threads N
+                         override the I2PSCOPE_* environment knobs
+";
+
+struct Args {
+    knobs: Knobs,
+    format: Format,
+    figs: Vec<FigId>,
+    out: Option<PathBuf>,
+    from: Option<PathBuf>,
+    live: bool,
+    verify: bool,
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
+    let command = argv.next().ok_or_else(|| "missing command".to_string())?;
+    let mut args = Args {
+        knobs: Knobs::from_env(),
+        format: Format::Text,
+        figs: FigId::ALL.to_vec(),
+        out: None,
+        from: None,
+        live: false,
+        verify: false,
+    };
+    let mut argv = argv.peekable();
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--format" => args.format = value("--format")?.parse()?,
+            "--fig" => {
+                args.figs = value("--fig")?
+                    .split(',')
+                    .map(FigId::parse)
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--from" => args.from = Some(PathBuf::from(value("--from")?)),
+            "--live" => args.live = true,
+            "--verify" => args.verify = true,
+            "--scale" => args.knobs.scale = parse_num(&value("--scale")?, "--scale")?,
+            "--seed" => args.knobs.seed = parse_num(&value("--seed")?, "--seed")?,
+            "--days" => args.knobs.days = parse_num(&value("--days")?, "--days")?,
+            "--fleet" => args.knobs.fleet = parse_num(&value("--fleet")?, "--fleet")?,
+            "--replicates" => {
+                args.knobs.replicates = parse_num(&value("--replicates")?, "--replicates")?
+            }
+            "--threads" => args.knobs.threads = parse_num(&value("--threads")?, "--threads")?,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok((command, args))
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("{flag} {v:?} is not a valid {}", std::any::type_name::<T>()))
+}
+
+fn run() -> Result<String, String> {
+    let mut argv = std::env::args();
+    argv.next(); // program name
+    let (command, args) = parse_args(argv)?;
+    match command.as_str() {
+        "census" => Ok(cli::census(&args.knobs, args.format, &args.figs)),
+        "harvest" => {
+            let out = args.out.ok_or("harvest needs --out FILE")?;
+            cli::harvest(&args.knobs, &out).map_err(|e| e.to_string())
+        }
+        "figures" => match (&args.from, args.live) {
+            (Some(path), false) => {
+                cli::figures_from(path, args.format, &args.figs, args.verify)
+                    .map_err(|e| e.to_string())
+            }
+            (None, true) => Ok(cli::figures_live(&args.knobs, args.format, &args.figs)),
+            _ => Err("figures needs exactly one of --from FILE or --live".to_string()),
+        },
+        "sweep" => Ok(cli::sweep(&args.knobs, args.format)),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("i2pscope: {e}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Library entrypoints behind the `i2pscope` binary.
+//!
+//! Everything the CLI does is a plain function here, so examples and
+//! tests share one code path with the binary (the `network_census`
+//! example is a thin wrapper over [`census`]). The pipeline mirrors the
+//! paper's workflow: `census` runs the measurements live, `harvest`
+//! archives the dataset into an `i2p-store` snapshot, `figures` renders
+//! the paper's figures from either a live world (`--live`) or an
+//! archived snapshot (`--from`) — **byte-identically** — and `sweep`
+//! runs the Fig. 14 usability experiment on the protocol-level TestNet.
+
+use i2p_measure::engine::HarvestEngine;
+use i2p_measure::fleet::Fleet;
+use i2p_measure::source::SnapshotSource;
+use i2p_measure::usability::{evaluate, UsabilityConfig};
+use i2p_measure::{capacity, churn, geo, ipchurn, population, report};
+use i2p_sim::world::{World, WorldConfig};
+use i2p_store::{Snapshot, StoreError};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Scale/seed/size knobs, resolved from the `I2PSCOPE_*` environment
+/// (same variables and panic-on-malformed semantics as the bench
+/// helpers in `crates/bench`) and overridable by CLI flags.
+#[derive(Clone, Copy, Debug)]
+pub struct Knobs {
+    /// Population scale (`I2PSCOPE_SCALE`, default 1.0 ≈ 32 K daily).
+    pub scale: f64,
+    /// Master seed (`I2PSCOPE_SEED`).
+    pub seed: u64,
+    /// Harvested study days (`I2PSCOPE_DAYS`).
+    pub days: u64,
+    /// Monitoring routers (`I2PSCOPE_FLEET`; 20 = the paper's main
+    /// 10 ff + 10 non-ff fleet, anything else alternates modes).
+    pub fleet: usize,
+    /// Fig. 14 replicates per sweep point (`I2PSCOPE_REPLICATES`).
+    pub replicates: usize,
+    /// Sweep threads (`I2PSCOPE_THREADS`, 0 = one per core).
+    pub threads: usize,
+}
+
+/// Parses env var `name` as `T`, defaulting when unset; malformed
+/// values panic with the variable name rather than silently launching
+/// a full-scale run. The single definition of the `I2PSCOPE_*` knob
+/// semantics — the bench helpers in `crates/bench` reuse it.
+pub fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match std::env::var(name) {
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            panic!("{name}={v:?} is not a valid {}", std::any::type_name::<T>())
+        }),
+        Err(_) => default,
+    }
+}
+
+impl Knobs {
+    /// Resolves every knob from the environment.
+    pub fn from_env() -> Self {
+        Knobs {
+            scale: env_parse("I2PSCOPE_SCALE", 1.0),
+            seed: env_parse("I2PSCOPE_SEED", 20_180_201),
+            days: env_parse("I2PSCOPE_DAYS", 89),
+            fleet: env_parse("I2PSCOPE_FLEET", 20),
+            replicates: env_parse("I2PSCOPE_REPLICATES", 1),
+            threads: env_parse("I2PSCOPE_THREADS", 0),
+        }
+    }
+
+    /// The configured world.
+    pub fn world(&self) -> World {
+        World::generate(WorldConfig { days: self.days, scale: self.scale, seed: self.seed })
+    }
+
+    /// The configured fleet.
+    pub fn fleet(&self) -> Fleet {
+        if self.fleet == 20 {
+            Fleet::paper_main()
+        } else {
+            Fleet::alternating(self.fleet)
+        }
+    }
+}
+
+/// Output format of the figure renderers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Format {
+    /// The paper-layout text renderers.
+    Text,
+    /// Machine-readable CSV twins.
+    Csv,
+}
+
+impl std::str::FromStr for Format {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "text" => Ok(Format::Text),
+            "csv" => Ok(Format::Csv),
+            other => Err(format!("unknown format {other:?} (expected text|csv)")),
+        }
+    }
+}
+
+/// A figure/table the CLI can render from a [`SnapshotSource`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FigId {
+    /// Fig. 4 — cumulative coverage vs router count.
+    Fig4,
+    /// Fig. 5 — daily population census.
+    Fig5,
+    /// Fig. 6 — unknown-IP decomposition.
+    Fig6,
+    /// Fig. 7 — churn survival curves.
+    Fig7,
+    /// Fig. 8 — distinct IPs per peer.
+    Fig8,
+    /// Fig. 9 — capacity-flag census.
+    Fig9,
+    /// Fig. 10 — country distribution.
+    Fig10,
+    /// Fig. 11 — AS distribution.
+    Fig11,
+    /// Fig. 12 — distinct ASes per multi-IP peer.
+    Fig12,
+    /// Table 1 — bandwidth × reachability groups + the §5.3.1 estimate.
+    Table1,
+}
+
+impl FigId {
+    /// Every renderable figure, in paper order.
+    pub const ALL: [FigId; 10] = [
+        FigId::Fig4,
+        FigId::Fig5,
+        FigId::Fig6,
+        FigId::Fig7,
+        FigId::Fig8,
+        FigId::Fig9,
+        FigId::Fig10,
+        FigId::Fig11,
+        FigId::Fig12,
+        FigId::Table1,
+    ];
+
+    /// Parses a `--fig` selector entry (`"5"`, `"fig5"`, `"table1"`).
+    pub fn parse(s: &str) -> Result<FigId, String> {
+        let key = s.trim().to_ascii_lowercase();
+        let key = key.strip_prefix("fig").unwrap_or(&key);
+        match key {
+            "4" => Ok(FigId::Fig4),
+            "5" => Ok(FigId::Fig5),
+            "6" => Ok(FigId::Fig6),
+            "7" => Ok(FigId::Fig7),
+            "8" => Ok(FigId::Fig8),
+            "9" => Ok(FigId::Fig9),
+            "10" => Ok(FigId::Fig10),
+            "11" => Ok(FigId::Fig11),
+            "12" => Ok(FigId::Fig12),
+            "table1" => Ok(FigId::Table1),
+            other => Err(format!("unknown figure {other:?} (expected 4..12 or table1)")),
+        }
+    }
+}
+
+/// Prefixes a CSV block with its figure title as a `#` comment.
+fn titled_csv(title: &str, csv: String) -> String {
+    format!("# {title}\n{csv}")
+}
+
+/// Renders the selected figures from any source — a live engine or a
+/// loaded snapshot — deterministically: identical sources give
+/// byte-identical output (the CI smoke and `tests/store_replay.rs`
+/// hold live vs replayed renders to `==`).
+pub fn render_figures(src: &dyn SnapshotSource, format: Format, figs: &[FigId]) -> String {
+    let span = src.days();
+    let n_days = span.clone().count() as u64;
+    // Fig. 5/6 sample every `step` days (≤ ~10 rows); Table 1 and the
+    // floodfill estimate use the window's middle day. All derived from
+    // the source's own range, so live and replay agree by construction.
+    let step = (n_days / 10).max(1) as usize;
+    let mid_day = span.start + n_days / 2;
+    let horizon = (n_days.saturating_sub(1)).min(30) as usize;
+    let churn_days: Vec<usize> =
+        [1, 2, 3, 5, 7, 10, 14, 21, 30].into_iter().filter(|&d| d <= horizon).collect();
+
+    let mut out = String::new();
+    // Fig. 5/6 share the sampled census series and Fig. 8/12 share the
+    // full-window IP-churn pass — the two heaviest analyses in the
+    // suite — so compute each once and reuse across both figures.
+    let mut census_series = None;
+    let mut ip_report = None;
+    for fig in figs {
+        let block = match fig {
+            FigId::Fig4 => {
+                let curve = population::cumulative_by_router_count_from(src, span.clone());
+                match format {
+                    Format::Text => report::render_fig4(&curve),
+                    Format::Csv => titled_csv("Figure 4", report::csv_fig4(&curve)),
+                }
+            }
+            FigId::Fig5 | FigId::Fig6 => {
+                let series: &Vec<_> = census_series.get_or_insert_with(|| {
+                    span.clone()
+                        .step_by(step)
+                        .map(|d| (d, population::daily_census_from(src, d)))
+                        .collect()
+                });
+                if *fig == FigId::Fig5 {
+                    match format {
+                        Format::Text => report::render_fig5(series),
+                        Format::Csv => titled_csv("Figure 5", report::csv_fig5(series)),
+                    }
+                } else {
+                    let overlap =
+                        population::firewalled_hidden_overlap_from(src, span.clone());
+                    match format {
+                        Format::Text => report::render_fig6(series, overlap),
+                        Format::Csv => {
+                            titled_csv("Figure 6", report::csv_fig6(series, overlap))
+                        }
+                    }
+                }
+            }
+            FigId::Fig7 => {
+                let curves = churn::churn_curves_from(src, horizon);
+                match format {
+                    Format::Text => report::render_fig7(&curves, &churn_days),
+                    Format::Csv => titled_csv("Figure 7", report::csv_fig7(&curves, &churn_days)),
+                }
+            }
+            FigId::Fig8 | FigId::Fig12 => {
+                let rep = ip_report
+                    .get_or_insert_with(|| ipchurn::ip_churn_report_from(src, span.clone()));
+                if *fig == FigId::Fig8 {
+                    match format {
+                        Format::Text => report::render_fig8(rep),
+                        Format::Csv => titled_csv("Figure 8", report::csv_fig8(rep)),
+                    }
+                } else {
+                    match format {
+                        Format::Text => report::render_fig12(rep),
+                        Format::Csv => titled_csv("Figure 12", report::csv_fig12(rep)),
+                    }
+                }
+            }
+            FigId::Fig9 => {
+                let hist = capacity::capacity_histogram_from(src, span.clone());
+                match format {
+                    Format::Text => report::render_fig9(&hist),
+                    Format::Csv => titled_csv("Figure 9", report::csv_fig9(&hist)),
+                }
+            }
+            FigId::Fig10 => {
+                let rep = geo::country_distribution_from(src, span.clone());
+                match format {
+                    Format::Text => report::render_fig10(&rep, 20),
+                    Format::Csv => titled_csv("Figure 10", report::csv_fig10(&rep, 20)),
+                }
+            }
+            FigId::Fig11 => {
+                let rep = geo::as_distribution_from(src, span.clone());
+                match format {
+                    Format::Text => report::render_fig11(&rep, 20),
+                    Format::Csv => titled_csv("Figure 11", report::csv_fig11(&rep, 20)),
+                }
+            }
+            FigId::Table1 => {
+                let table = capacity::bandwidth_table_from(src, mid_day);
+                let est = capacity::floodfill_estimate_from(src, mid_day);
+                match format {
+                    Format::Text => report::render_table1(&table, &est),
+                    Format::Csv => titled_csv("Table 1", report::csv_table1(&table, &est)),
+                }
+            }
+        };
+        out.push_str(&block);
+        out.push('\n');
+    }
+    out
+}
+
+/// `i2pscope census`: generate the configured world, harvest it live,
+/// and print the full measurement report (the `network_census` example
+/// is this function at example scale).
+pub fn census(knobs: &Knobs, format: Format, figs: &[FigId]) -> String {
+    let world = knobs.world();
+    let fleet = knobs.fleet();
+    let engine = HarvestEngine::build(&world, &fleet, 0..knobs.days);
+    let mut out = format!(
+        "world: {} peers over {} days, ~{} online daily; fleet: {} monitoring routers\n\n",
+        world.total_peers(),
+        knobs.days,
+        world.online_count(knobs.days / 2),
+        fleet.vantages.len()
+    );
+    out.push_str(&render_figures(&engine, format, figs));
+    out
+}
+
+/// `i2pscope harvest --out FILE`: generate, harvest, and archive the
+/// dataset as an `i2p-store` snapshot. Returns a human summary.
+pub fn harvest(knobs: &Knobs, out_path: &Path) -> Result<String, StoreError> {
+    let world = knobs.world();
+    let fleet = knobs.fleet();
+    let engine = HarvestEngine::build(&world, &fleet, 0..knobs.days);
+    let snapshot = Snapshot::capture(&engine);
+    let bytes = snapshot.to_bytes();
+    std::fs::write(out_path, &bytes)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "archived {} observation rows over {} days ({} vantages) to {}",
+        snapshot.total_rows(),
+        knobs.days,
+        fleet.vantages.len(),
+        out_path.display()
+    );
+    let _ = writeln!(
+        out,
+        "snapshot: {} bytes ({:.1} B/row), world seed {} scale {}",
+        bytes.len(),
+        bytes.len() as f64 / snapshot.total_rows().max(1) as f64,
+        knobs.seed,
+        knobs.scale
+    );
+    Ok(out)
+}
+
+/// `i2pscope figures --live`: render figures from a freshly generated
+/// world and live harvest.
+pub fn figures_live(knobs: &Knobs, format: Format, figs: &[FigId]) -> String {
+    let world = knobs.world();
+    let fleet = knobs.fleet();
+    let engine = HarvestEngine::build(&world, &fleet, 0..knobs.days);
+    render_figures(&engine, format, figs)
+}
+
+/// `i2pscope figures --from FILE`: load a snapshot (always checksum-
+/// validated; `verify` additionally decodes and signature-verifies
+/// every archived RouterInfo record) and replay the figures off it.
+pub fn figures_from(
+    path: &Path,
+    format: Format,
+    figs: &[FigId],
+    verify: bool,
+) -> Result<String, StoreError> {
+    let snapshot = Snapshot::read_from(path)?;
+    if verify {
+        snapshot.verify_router_infos()?;
+    }
+    Ok(render_figures(&snapshot, format, figs))
+}
+
+/// `i2pscope sweep`: the Fig. 14 usability sweep on the protocol-level
+/// TestNet through the scenario lab, scaled by the knobs exactly like
+/// the `fig14_usability` bench.
+pub fn sweep(knobs: &Knobs, format: Format) -> String {
+    let scale = knobs.scale.min(1.0);
+    let cfg = UsabilityConfig {
+        relays: ((64.0 * scale).round() as usize).max(24),
+        floodfills: ((12.0 * scale).round() as usize).max(6),
+        fetches_per_rate: ((10.0 * scale).round() as usize).max(2),
+        replicates: knobs.replicates,
+        threads: knobs.threads,
+        seed: knobs.seed,
+        ..Default::default()
+    };
+    let points = evaluate(&cfg);
+    match format {
+        Format::Text => report::render_fig14(&points),
+        Format::Csv => titled_csv("Figure 14", report::csv_fig14(&points)),
+    }
+}

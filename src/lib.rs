@@ -17,6 +17,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cli;
+
 pub use i2p_crypto as crypto;
 pub use i2p_data as data;
 pub use i2p_geoip as geoip;
@@ -24,5 +26,6 @@ pub use i2p_measure as measure;
 pub use i2p_netdb as netdb;
 pub use i2p_router as router;
 pub use i2p_sim as sim;
+pub use i2p_store as store;
 pub use i2p_transport as transport;
 pub use i2p_tunnel as tunnel;

@@ -1,0 +1,95 @@
+//! Round-trip fidelity of the dataset store: figures rendered from a
+//! loaded snapshot must be **byte-identical** to figures rendered from
+//! the live `World`/`HarvestEngine` that produced it, in both output
+//! formats — the acceptance contract of the persistence subsystem.
+
+use i2pscope::cli::{self, FigId, Format};
+use i2pscope::measure::fleet::Fleet;
+use i2pscope::measure::HarvestEngine;
+use i2pscope::sim::world::{World, WorldConfig};
+use i2pscope::store::Snapshot;
+
+fn setup() -> (World, Fleet) {
+    (
+        World::generate(WorldConfig { days: 8, scale: 0.03, seed: 20_180_201 }),
+        Fleet::alternating(6),
+    )
+}
+
+#[test]
+fn replayed_figures_byte_match_live_figures() {
+    let (world, fleet) = setup();
+    let engine = HarvestEngine::build(&world, &fleet, 0..8);
+    let snapshot = Snapshot::capture(&engine);
+    // Through the full wire format, not just the in-memory capture.
+    let loaded = Snapshot::from_bytes(&snapshot.to_bytes()).expect("wire roundtrip");
+    for format in [Format::Text, Format::Csv] {
+        let live = cli::render_figures(&engine, format, &FigId::ALL);
+        let replayed = cli::render_figures(&loaded, format, &FigId::ALL);
+        assert!(!live.is_empty());
+        assert_eq!(live, replayed, "live vs replayed {format:?} figures diverged");
+    }
+}
+
+#[test]
+fn snapshot_metadata_round_trips() {
+    let (world, fleet) = setup();
+    let engine = HarvestEngine::build(&world, &fleet, 2..7);
+    let snapshot = Snapshot::capture(&engine);
+    let loaded = Snapshot::from_bytes(&snapshot.to_bytes()).expect("wire roundtrip");
+    let meta = loaded.meta();
+    assert_eq!(meta.world_days, world.config.days);
+    assert_eq!(meta.world_scale, world.config.scale);
+    assert_eq!(meta.world_seed, world.config.seed);
+    assert_eq!(meta.total_peers, world.total_peers() as u64);
+    assert_eq!(meta.day_start, 2);
+    assert_eq!(meta.n_days, 5);
+    assert_eq!(meta.vantages, fleet.vantages);
+}
+
+#[test]
+fn archived_router_infos_decode_and_verify() {
+    let (world, fleet) = setup();
+    let engine = HarvestEngine::build(&world, &fleet, 3..5);
+    let loaded =
+        Snapshot::from_bytes(&Snapshot::capture(&engine).to_bytes()).expect("wire roundtrip");
+    let verified = loaded.verify_router_infos().expect("all wire records verify");
+    assert_eq!(verified, loaded.total_rows());
+    assert!(verified > 0, "a non-trivial world archives rows");
+}
+
+#[test]
+fn corrupt_and_truncated_snapshots_are_rejected() {
+    let (world, fleet) = setup();
+    let engine = HarvestEngine::build(&world, &fleet, 0..2);
+    let bytes = Snapshot::capture(&engine).to_bytes();
+    // Flip one byte in the middle of the row table.
+    let mut bad = bytes.clone();
+    let mid = bytes.len() / 2;
+    bad[mid] ^= 0x40;
+    assert!(Snapshot::from_bytes(&bad).is_err(), "mid-file corruption must fail");
+    // Cut the trailer off.
+    assert!(Snapshot::from_bytes(&bytes[..bytes.len() - 10]).is_err());
+    // Wrong version byte.
+    let mut bad = bytes.clone();
+    bad[8] ^= 0xFF; // the u16 version follows the 8-byte magic
+    assert!(Snapshot::from_bytes(&bad).is_err());
+}
+
+#[test]
+fn file_round_trip_through_disk() {
+    let (world, fleet) = setup();
+    let engine = HarvestEngine::build(&world, &fleet, 0..3);
+    let snapshot = Snapshot::capture(&engine);
+    let dir = std::env::temp_dir().join("i2pscope-store-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.i2ps");
+    snapshot.write_to(&path).expect("write");
+    let loaded = Snapshot::read_from(&path).expect("read");
+    assert_eq!(loaded.total_rows(), snapshot.total_rows());
+    assert_eq!(
+        cli::render_figures(&snapshot, Format::Csv, &FigId::ALL),
+        cli::render_figures(&loaded, Format::Csv, &FigId::ALL)
+    );
+    std::fs::remove_file(&path).ok();
+}
