@@ -29,7 +29,8 @@
 //! introducers), via [`HarvestEngine::harvest_union_prefix`] or
 //! [`HarvestEngine::for_each_observation`].
 
-use crate::fleet::{DailyHarvest, Fleet, Vantage};
+use crate::fleet::{DailyHarvest, Fleet, Vantage, VantageMode};
+use crate::keyspace::{self, VisibilityModel};
 use crate::observed::ObservedRouterInfo;
 use i2p_data::FxHashMap;
 use i2p_sim::peer::PeerRecord;
@@ -57,14 +58,40 @@ pub struct HarvestEngine<'w> {
 }
 
 impl<'w> HarvestEngine<'w> {
-    /// Fills the engine for `fleet` over `days`.
+    /// Fills the engine for `fleet` over `days` under the uniform
+    /// visibility model (the oracle mode).
     pub fn build(world: &'w World, fleet: &Fleet, days: Range<u64>) -> Self {
         Self::with_vantages(world, fleet.vantages.clone(), days)
+    }
+
+    /// Fills the engine for `fleet` over `days` under an explicit
+    /// [`VisibilityModel`]: [`VisibilityModel::Uniform`] reproduces
+    /// [`HarvestEngine::build`] exactly; [`VisibilityModel::Keyspace`]
+    /// additionally ANDs each lane with the day's keyspace placement
+    /// gates (see [`crate::keyspace`]), so a floodfill vantage's bitset
+    /// is derived from its position in the rotating keyspace.
+    pub fn build_with(
+        world: &'w World,
+        fleet: &Fleet,
+        days: Range<u64>,
+        model: &VisibilityModel,
+    ) -> Self {
+        Self::with_vantages_model(world, fleet.vantages.clone(), days, model)
     }
 
     /// [`HarvestEngine::build`] for an explicit vantage list; the list
     /// order defines prefix semantics.
     pub fn with_vantages(world: &'w World, vantages: Vec<Vantage>, days: Range<u64>) -> Self {
+        Self::with_vantages_model(world, vantages, days, &VisibilityModel::Uniform)
+    }
+
+    /// [`HarvestEngine::build_with`] for an explicit vantage list.
+    pub fn with_vantages_model(
+        world: &'w World,
+        vantages: Vec<Vantage>,
+        days: Range<u64>,
+        model: &VisibilityModel,
+    ) -> Self {
         let day_ids: Vec<Cow<'w, [u32]>> = days
             .clone()
             .map(|d| match world.online_ids(d) {
@@ -125,6 +152,42 @@ impl<'w> HarvestEngine<'w> {
                     }
                 }
             });
+        }
+
+        // Keyspace mode: AND each floodfill vantage's lane with the
+        // day's placement gates. The gate masks are a pure function of
+        // (world, vantages, day, config) and shared across vantages, so
+        // each day's placement is computed once — through the scenario
+        // lab's sweep driver, giving a parallel, thread-count-
+        // independent fill. Fleets without floodfill vantages skip the
+        // pass outright: tunnel visibility is keyspace-independent, so
+        // every gate would be all-ones anyway.
+        if let VisibilityModel::Keyspace(cfg) = model {
+            cfg.validate();
+            if vantages.iter().any(|v| v.mode == VantageMode::Floodfill) {
+                let day_list: Vec<usize> = (0..n_days).collect();
+                let gates = crate::lab::sweep(
+                    &(world, &vantages, &day_ids),
+                    &day_list,
+                    0,
+                    |(world, vantages, day_ids), &di, _| {
+                        keyspace::day_gates(
+                            world,
+                            vantages,
+                            &day_ids[di],
+                            days.start + di as u64,
+                            cfg,
+                        )
+                    },
+                );
+                for (di, day_gate) in gates.iter().enumerate() {
+                    for (lane, gate) in lanes.iter_mut().zip(day_gate) {
+                        for (w, g) in lane[day_off[di]..day_off[di + 1]].iter_mut().zip(gate) {
+                            *w &= g;
+                        }
+                    }
+                }
+            }
         }
         HarvestEngine { world, vantages, days, day_ids, day_words, day_off, lanes }
     }

@@ -15,7 +15,7 @@
 
 use crate::observed::ObservedRouterInfo;
 use i2p_crypto::DetRng;
-use i2p_data::FxHashMap;
+use i2p_data::{FxHashMap, Hash256};
 use i2p_sim::params;
 use i2p_sim::peer::PeerRecord;
 use i2p_sim::world::World;
@@ -81,6 +81,25 @@ impl Vantage {
     /// The per-pair seed all (vantage, peer) draws key off.
     pub fn pair_seed(&self, peer: &PeerRecord) -> u64 {
         peer.seed ^ self.salt.wrapping_mul(0xD6E8_FEB8_6659_FD93)
+    }
+
+    /// The vantage router's cryptographic identity hash — its anchor in
+    /// the netDb keyspace. A floodfill vantage participates in the DHT
+    /// at this identity's *daily routing key* position (the rotation
+    /// itself lives in `i2p_netdb::RoutingKey::for_day`), which is what
+    /// the keyspace-routed visibility model gates sightings on. Derived
+    /// deterministically from the full vantage spec so equal vantages
+    /// sit at equal positions and distinct salts scatter uniformly.
+    pub fn identity_hash(&self) -> Hash256 {
+        let mut material = [0u8; 14];
+        material[..8].copy_from_slice(&self.salt.to_be_bytes());
+        material[8..12].copy_from_slice(&self.shared_kbps.to_be_bytes());
+        material[12] = b'v';
+        material[13] = match self.mode {
+            VantageMode::Floodfill => b'f',
+            VantageMode::NonFloodfill => b'n',
+        };
+        Hash256::digest(&material)
     }
 
     /// The persistent component of the pair's daily draws — constant

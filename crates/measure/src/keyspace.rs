@@ -1,0 +1,361 @@
+//! Keyspace-routed store placement: which floodfills a record lands on.
+//!
+//! The paper's census runs floodfill routers whose view of the netDb is
+//! determined by where they sit in the rotating Kademlia keyspace:
+//! publication of a RouterInfo/LeaseSet goes to the `REPLICATION`
+//! floodfills closest (XOR) to the record's **daily routing key**
+//! (`SHA256(hash ∥ UTC-date)`, §2.1.2), so a monitoring floodfill only
+//! ever receives stores for the slice of the keyspace around its own
+//! daily position — and an adversary who grinds identities into a
+//! target's neighbourhood can capture, or starve, that slice (§4, §7).
+//!
+//! This module derives per-day **visibility gates** from that placement
+//! rule: for every (vantage, online peer) pair on a day, whether the
+//! peer's publication reaches the vantage at all. The
+//! [`crate::engine::HarvestEngine`] ANDs these gates into its sighting
+//! bitsets when built with [`VisibilityModel::Keyspace`]:
+//!
+//! * **Floodfill-mode vantages** participate in the DHT at the keyspace
+//!   position of their identity's daily routing key and receive exactly
+//!   the records they are among the `replication` closest floodfills
+//!   for (closeness measured against the union of the day's online
+//!   world floodfills, the fleet's floodfill vantages, and any injected
+//!   Sybil identities — Sybils *absorb* stores without reporting them).
+//! * **Non-floodfill vantages** observe through tunnel participation,
+//!   which is keyspace-independent; their gate is always open and their
+//!   sightings stay exactly the calibrated uniform model's.
+//!
+//! With **full overlap** ([`KeyspaceConfig::full_overlap`], replication
+//! ≥ the floodfill population) every floodfill receives every store,
+//! the gates are all-ones, and the keyspace-routed engine reproduces
+//! the uniform-visibility engine **bit-identically** — the differential
+//! parity contract pinned by `tests/keyspace_parity.rs`.
+
+use crate::fleet::{Vantage, VantageMode};
+use i2p_data::hash::Distance;
+use i2p_data::{FxHashMap, Hash256};
+use i2p_netdb::RoutingKey;
+use i2p_sim::world::World;
+
+/// Re-export of the netDb replication factor: how many closest
+/// floodfills a record is published/flooded to (§4.2).
+pub use i2p_netdb::store::REPLICATION;
+
+/// How the engine decides which peers a vantage can see at all.
+#[derive(Clone, Debug, Default)]
+pub enum VisibilityModel {
+    /// The calibrated probabilistic exposure model (DESIGN.md §3):
+    /// every vantage can in principle see every online peer. This is
+    /// the original engine behaviour, kept as the oracle mode.
+    #[default]
+    Uniform,
+    /// Keyspace-routed placement: floodfill vantages only receive the
+    /// records they are among the k closest floodfills for, under the
+    /// day's rotated routing keys.
+    Keyspace(KeyspaceConfig),
+}
+
+/// Parameters of the keyspace placement rule.
+#[derive(Clone, Debug)]
+pub struct KeyspaceConfig {
+    /// How many closest floodfills a record lands on. The paper's rule
+    /// is [`REPLICATION`] (= 3); anything at or above the floodfill
+    /// population degenerates to full overlap.
+    pub replication: usize,
+    /// Sybil floodfill identities injected per day (day → identities).
+    /// They join the placement population — absorbing stores that would
+    /// otherwise reach honest floodfills or monitoring vantages — but
+    /// never report sightings.
+    pub sybils: FxHashMap<u64, Vec<Hash256>>,
+}
+
+impl KeyspaceConfig {
+    /// The paper's placement: flood to the 3 closest, no adversary.
+    pub fn paper() -> Self {
+        KeyspaceConfig { replication: REPLICATION, sybils: FxHashMap::default() }
+    }
+
+    /// A replication factor so large every floodfill receives every
+    /// store — the degenerate placement whose gates are all-ones.
+    pub fn full_overlap() -> Self {
+        KeyspaceConfig { replication: usize::MAX, sybils: FxHashMap::default() }
+    }
+
+    /// Panics on configurations that would silently produce an empty
+    /// census (a record that lands on zero floodfills is lost).
+    pub fn validate(&self) {
+        assert!(self.replication >= 1, "KeyspaceConfig: replication must be at least 1");
+    }
+
+    /// The Sybil identities active on `day`.
+    pub fn sybils_on(&self, day: u64) -> &[Hash256] {
+        self.sybils.get(&day).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// One floodfill position in the day's keyspace, tagged by who owns it.
+#[derive(Clone, Copy, Debug)]
+pub struct FloodfillPos {
+    /// The floodfill's stable identity hash (what lookups query).
+    pub hash: Hash256,
+    /// The daily routing-key position.
+    pub pos: RoutingKey,
+    /// Owner tag: honest world floodfill, monitoring vantage (index
+    /// into the fleet), or injected Sybil.
+    pub owner: Owner,
+}
+
+/// Who operates a floodfill position.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Owner {
+    /// An honest world peer running floodfill.
+    Honest,
+    /// The fleet's vantage with this index (floodfill mode).
+    Vantage(usize),
+    /// An attacker-ground Sybil identity.
+    Sybil,
+}
+
+/// The day's complete floodfill placement population: every online
+/// world floodfill, every floodfill-mode vantage, and the day's Sybils,
+/// each at its daily routing-key position. `online_ids` must be the
+/// day's online peer ids (the engine's `day_ids` slice).
+pub fn day_population(
+    world: &World,
+    vantages: &[Vantage],
+    online_ids: &[u32],
+    day: u64,
+    cfg: &KeyspaceConfig,
+) -> Vec<FloodfillPos> {
+    let mut pop = Vec::new();
+    for &id in online_ids {
+        let peer = &world.peers[id as usize];
+        if peer.floodfill {
+            pop.push(FloodfillPos {
+                hash: peer.hash,
+                pos: RoutingKey::for_day(&peer.hash, day),
+                owner: Owner::Honest,
+            });
+        }
+    }
+    for (v, vantage) in vantages.iter().enumerate() {
+        if vantage.mode == VantageMode::Floodfill {
+            let hash = vantage.identity_hash();
+            pop.push(FloodfillPos {
+                hash,
+                pos: RoutingKey::for_day(&hash, day),
+                owner: Owner::Vantage(v),
+            });
+        }
+    }
+    for sybil in cfg.sybils_on(day) {
+        pop.push(FloodfillPos {
+            hash: *sybil,
+            pos: RoutingKey::for_day(sybil, day),
+            owner: Owner::Sybil,
+        });
+    }
+    pop
+}
+
+/// The `k` smallest XOR distances from `key` to the population, as
+/// `(distance, index into pop)` pairs ascending by distance. Distances
+/// from one key to distinct positions are distinct (XOR is injective),
+/// so the selection is unambiguous whenever positions are distinct.
+pub fn closest_k(pop: &[FloodfillPos], key: &RoutingKey, k: usize) -> Vec<(Distance, usize)> {
+    let mut best: Vec<(Distance, usize)> = Vec::with_capacity(k.min(pop.len()) + 1);
+    for (i, f) in pop.iter().enumerate() {
+        let d = f.pos.distance(key);
+        if best.len() < k || d < best.last().expect("non-empty at capacity").0 {
+            let at = best.partition_point(|(b, _)| *b < d);
+            best.insert(at, (d, i));
+            if best.len() > k {
+                best.pop();
+            }
+        }
+    }
+    best
+}
+
+/// Whether the record at `key` is **eclipsed**: every one of the
+/// `replication` floodfills it lands on is a Sybil, so honest lookups
+/// are answered (or dropped) entirely by the adversary.
+pub fn eclipsed(pop: &[FloodfillPos], key: &RoutingKey, replication: usize) -> bool {
+    let top = closest_k(pop, key, replication);
+    top.len() == replication.min(pop.len())
+        && !top.is_empty()
+        && top.iter().all(|&(_, i)| pop[i].owner == Owner::Sybil)
+}
+
+/// Per-vantage visibility gates for one day: bit `i` of `gates[v]` is
+/// set iff the `i`-th online peer's publication reaches vantage `v`.
+/// Non-floodfill vantages get an all-ones gate (tunnel visibility is
+/// keyspace-independent); floodfill vantages get the placement gate.
+pub fn day_gates(
+    world: &World,
+    vantages: &[Vantage],
+    online_ids: &[u32],
+    day: u64,
+    cfg: &KeyspaceConfig,
+) -> Vec<Vec<u64>> {
+    cfg.validate();
+    let words = online_ids.len().div_ceil(64);
+    let mut gates: Vec<Vec<u64>> = Vec::with_capacity(vantages.len());
+    let pop = day_population(world, vantages, online_ids, day, cfg);
+    // Full overlap (including the usize::MAX sentinel and the empty
+    // population): every floodfill receives every store, so every gate
+    // is all-ones.
+    let full_overlap = cfg.replication >= pop.len();
+    let vantage_pos: Vec<Option<RoutingKey>> = vantages
+        .iter()
+        .map(|v| {
+            (v.mode == VantageMode::Floodfill)
+                .then(|| RoutingKey::for_day(&v.identity_hash(), day))
+        })
+        .collect();
+    for _ in vantages {
+        gates.push(vec![!0u64; words]);
+    }
+    if full_overlap {
+        return gates;
+    }
+    for (i, &id) in online_ids.iter().enumerate() {
+        let key = RoutingKey::for_day(&world.peers[id as usize].hash, day);
+        let top = closest_k(&pop, &key, cfg.replication);
+        let kth = top.last().expect("replication >= 1 and population non-empty").0;
+        for (v, vpos) in vantage_pos.iter().enumerate() {
+            let Some(vpos) = vpos else { continue }; // non-floodfill: gate open
+            if vpos.distance(&key) > kth {
+                gates[v][i / 64] &= !(1u64 << (i % 64));
+            }
+        }
+    }
+    gates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::Fleet;
+    use i2p_sim::world::WorldConfig;
+
+    fn small_world() -> World {
+        World::generate(WorldConfig { days: 4, scale: 0.03, seed: 23 })
+    }
+
+    #[test]
+    fn full_overlap_gates_are_all_ones() {
+        let w = small_world();
+        let fleet = Fleet::alternating(4);
+        let ids = w.online_ids(1).unwrap();
+        let gates = day_gates(&w, &fleet.vantages, ids, 1, &KeyspaceConfig::full_overlap());
+        for gate in &gates {
+            assert!(gate.iter().all(|&x| x == !0u64));
+        }
+    }
+
+    #[test]
+    fn paper_replication_gates_floodfill_vantages_only() {
+        let w = small_world();
+        let fleet = Fleet::alternating(4); // 0,2 floodfill; 1,3 non-ff
+        let ids = w.online_ids(2).unwrap();
+        let gates = day_gates(&w, &fleet.vantages, ids, 2, &KeyspaceConfig::paper());
+        let ones = |g: &[u64]| g.iter().map(|w| w.count_ones() as usize).sum::<usize>();
+        // Non-floodfill gates are fully open.
+        assert!(gates[1].iter().all(|&x| x == !0u64));
+        assert!(gates[3].iter().all(|&x| x == !0u64));
+        // Floodfill gates pass only a keyspace slice: with F floodfills
+        // each receives ~replication/F of the records.
+        let n_ff = w.online_peers(2).filter(|p| p.floodfill).count() + 2;
+        for v in [0usize, 2] {
+            let passed = ids
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| gates[v][i / 64] >> (i % 64) & 1 == 1)
+                .count();
+            let expect = REPLICATION as f64 / n_ff as f64 * ids.len() as f64;
+            assert!(
+                (passed as f64) < expect * 4.0 + 8.0 && passed > 0,
+                "vantage {v} passed {passed}, expected ≈{expect:.0}"
+            );
+            let _ = ones(&gates[v]);
+        }
+    }
+
+    #[test]
+    fn gate_matches_naive_top_k_membership() {
+        let w = small_world();
+        let fleet = Fleet::alternating(2);
+        let ids = w.online_ids(0).unwrap();
+        let cfg = KeyspaceConfig::paper();
+        let gates = day_gates(&w, &fleet.vantages, ids, 0, &cfg);
+        let pop = day_population(&w, &fleet.vantages, ids, 0, &cfg);
+        for (i, &id) in ids.iter().enumerate().take(300) {
+            let key = RoutingKey::for_day(&w.peers[id as usize].hash, 0);
+            // Naive oracle: sort the whole population by distance.
+            let mut all: Vec<(Distance, Owner)> =
+                pop.iter().map(|f| (f.pos.distance(&key), f.owner)).collect();
+            all.sort_by_key(|a| a.0);
+            let in_top = all[..REPLICATION]
+                .iter()
+                .any(|(_, o)| *o == Owner::Vantage(0));
+            let bit = gates[0][i / 64] >> (i % 64) & 1 == 1;
+            assert_eq!(bit, in_top, "record {i}");
+        }
+    }
+
+    #[test]
+    fn sybils_enter_the_population_and_can_eclipse() {
+        let w = small_world();
+        let fleet = Fleet::alternating(2);
+        let ids = w.online_ids(1).unwrap();
+        let target = &w.peers[ids[0] as usize];
+        let key = RoutingKey::for_day(&target.hash, 1);
+        let mut cfg = KeyspaceConfig::paper();
+        // Plant Sybils exactly on the target's neighbourhood by search:
+        // grind until three candidates beat every honest floodfill.
+        let mut sybils = Vec::new();
+        let honest = day_population(&w, &fleet.vantages, ids, 1, &cfg);
+        let closest_honest = closest_k(&honest, &key, 1)[0].0;
+        let mut nonce = 0u64;
+        while sybils.len() < 3 {
+            let cand = Hash256::digest(&nonce.to_be_bytes());
+            if RoutingKey::for_day(&cand, 1).distance(&key) < closest_honest {
+                sybils.push(cand);
+            }
+            nonce += 1;
+            assert!(nonce < 5_000_000, "grinding should succeed quickly at this scale");
+        }
+        cfg.sybils.insert(1, sybils);
+        let pop = day_population(&w, &fleet.vantages, ids, 1, &cfg);
+        assert!(eclipsed(&pop, &key, REPLICATION));
+        // Other records are (almost surely) not eclipsed by a 3-Sybil
+        // cluster aimed at one key.
+        let other = RoutingKey::for_day(&w.peers[ids[ids.len() / 2] as usize].hash, 1);
+        assert!(!eclipsed(&pop, &other, REPLICATION));
+    }
+
+    #[test]
+    fn closest_k_handles_small_populations() {
+        let pop: Vec<FloodfillPos> = (0..2u8)
+            .map(|i| {
+                let h = Hash256::digest(&[i]);
+                FloodfillPos { hash: h, pos: RoutingKey(h), owner: Owner::Honest }
+            })
+            .collect();
+        let key = RoutingKey(Hash256::digest(b"t"));
+        assert_eq!(closest_k(&pop, &key, 5).len(), 2);
+        assert!(!eclipsed(&pop, &key, 5), "honest-only population never eclipses");
+        assert!(!eclipsed(&[], &key, 3), "empty population cannot eclipse");
+    }
+
+    #[test]
+    #[should_panic(expected = "replication must be at least 1")]
+    fn zero_replication_rejected() {
+        let w = small_world();
+        let fleet = Fleet::alternating(2);
+        let ids = w.online_ids(0).unwrap();
+        let cfg = KeyspaceConfig { replication: 0, sybils: FxHashMap::default() };
+        day_gates(&w, &fleet.vantages, ids, 0, &cfg);
+    }
+}

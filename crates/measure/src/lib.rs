@@ -14,6 +14,14 @@
 //!   sighting drawn once into per-vantage bitsets (filled in parallel
 //!   across days), unions answered by OR + popcount, records
 //!   materialized lazily. The naive [`fleet`] path remains the oracle.
+//! * [`keyspace`] — the keyspace-routed visibility model: publication
+//!   lands on the k closest floodfills under the day's rotated routing
+//!   key, so a floodfill vantage's sightings derive from its keyspace
+//!   position; the uniform model stays available as the oracle mode.
+//! * [`sybil`] — the eclipse/Sybil scenario suite: an adversary grinds
+//!   identities into a target's keyspace neighbourhood at day-rotation
+//!   boundaries; measures census-coverage loss, target eclipse
+//!   probability and lookup failure vs Sybil count (§4, §7).
 //! * [`population`] — Figs. 2, 3, 4, 5, 6: observed-peer counts by
 //!   vantage configuration, unique-IP census, unknown-IP decomposition.
 //! * [`churn`] — Fig. 7: continuous/intermittent survival curves.
@@ -53,6 +61,7 @@ pub mod engine;
 pub mod fleet;
 pub mod geo;
 pub mod ipchurn;
+pub mod keyspace;
 pub mod lab;
 pub mod observed;
 pub mod population;
@@ -60,10 +69,12 @@ pub mod report;
 pub mod source;
 pub mod statsite;
 pub mod strategies;
+pub mod sybil;
 pub mod usability;
 
 pub use engine::HarvestEngine;
 pub use fleet::{Fleet, Vantage, VantageMode};
+pub use keyspace::{KeyspaceConfig, VisibilityModel};
 pub use observed::ObservedRouterInfo;
 pub use source::SnapshotSource;
 pub use usability::WarmSubstrate;

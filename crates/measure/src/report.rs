@@ -14,6 +14,7 @@ use crate::churn::ChurnCurves;
 use crate::geo::{AsReport, GeoReport};
 use crate::ipchurn::IpChurnReport;
 use crate::population::{BandwidthSweepRow, DailyCensus, SingleRouterSeries};
+use crate::sybil::SybilSweep;
 use crate::usability::UsabilityPoint;
 use std::fmt::Write as _;
 
@@ -266,6 +267,64 @@ pub fn render_fig14(points: &[UsabilityPoint]) -> String {
     out
 }
 
+/// Sybil sweep renderer (the `i2pscope sybil` report).
+pub fn render_sybil(s: &SybilSweep) -> String {
+    let mut out = header("Sybil sweep: eclipse and census damage vs Sybil count");
+    let _ = writeln!(
+        out,
+        "target peer {} vs ~{:.0} honest floodfills; clean keyspace coverage {:.1}%",
+        s.target_id,
+        s.mean_floodfills,
+        100.0 * s.baseline_coverage
+    );
+    out.push_str("sybils   ground/day   eclipse   lookup-fail   queries   coverage   target-seen\n");
+    for p in &s.points {
+        let _ = writeln!(
+            out,
+            "{:>6}   {:>10}   {:>6.1}%   {:>10.1}%   {:>7.1}   {:>7.1}%   {:>6}/{}",
+            p.sybils,
+            p.ground_per_day,
+            100.0 * p.eclipse_prob(),
+            100.0 * p.lookup_failure_rate(),
+            p.mean_queries,
+            100.0 * p.coverage,
+            p.target_seen_days,
+            p.days
+        );
+    }
+    out
+}
+
+/// Sybil sweep CSV twin:
+/// `sybils,ground_per_day,eclipse_pct,lookup_fail_pct,mean_queries,coverage_pct,target_seen_days,days`.
+pub fn csv_sybil(s: &SybilSweep) -> String {
+    let mut out = String::from(
+        "sybils,ground_per_day,eclipse_pct,lookup_fail_pct,mean_queries,coverage_pct,target_seen_days,days\n",
+    );
+    for p in &s.points {
+        let _ = writeln!(
+            out,
+            "{},{},{:.2},{:.2},{:.2},{:.2},{},{}",
+            p.sybils,
+            p.ground_per_day,
+            100.0 * p.eclipse_prob(),
+            100.0 * p.lookup_failure_rate(),
+            p.mean_queries,
+            100.0 * p.coverage,
+            p.target_seen_days,
+            p.days
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# target,{} # mean_floodfills,{:.1} # baseline_coverage_pct,{:.2}",
+        s.target_id,
+        s.mean_floodfills,
+        100.0 * s.baseline_coverage
+    );
+    out
+}
+
 /// Fig. 2 CSV twin: `day,mode,observed_peers`.
 pub fn csv_fig2(s: &SingleRouterSeries) -> String {
     let mut out = String::from("day,mode,observed_peers\n");
@@ -274,6 +333,15 @@ pub fn csv_fig2(s: &SingleRouterSeries) -> String {
     }
     for (d, n) in &s.non_floodfill {
         let _ = writeln!(out, "{d},non-floodfill,{n}");
+    }
+    out
+}
+
+/// Fig. 3 CSV twin: `bandwidth_kbps,floodfill,non_floodfill,both`.
+pub fn csv_fig3(rows: &[BandwidthSweepRow]) -> String {
+    let mut out = String::from("bandwidth_kbps,floodfill,non_floodfill,both\n");
+    for r in rows {
+        let _ = writeln!(out, "{},{},{},{}", r.shared_kbps, r.floodfill, r.non_floodfill, r.both);
     }
     out
 }
@@ -400,6 +468,18 @@ pub fn csv_fig12(r: &IpChurnReport) -> String {
         let _ = writeln!(out, "{label},{n},{:.2}", 100.0 * n as f64 / r.multi_ip_peers.max(1) as f64);
     }
     let _ = writeln!(out, "# max-ases,{} # max-countries,{}", r.max_ases, r.max_countries);
+    out
+}
+
+/// Fig. 13 CSV twin: `window_days,routers,blocking_pct`, one row per
+/// matrix cell.
+pub fn csv_fig13(series: &[BlockingSeries]) -> String {
+    let mut out = String::from("window_days,routers,blocking_pct\n");
+    for s in series {
+        for &(routers, pct) in &s.points {
+            let _ = writeln!(out, "{},{routers},{pct:.1}", s.window_days);
+        }
+    }
     out
 }
 

@@ -1,0 +1,124 @@
+//! State-machine properties of the iterative lookup driver.
+//!
+//! The Sybil scenarios in `i2p-measure` walk [`IterativeLookup`]
+//! against adversarial responders, so the machine must be safe under
+//! *arbitrary* reply graphs — including ones crafted to stall or loop
+//! it: for every responder graph the walk must terminate (found or
+//! exhausted), never query the same peer twice, keep `queried_count`
+//! monotone, and never exceed one query per existing peer.
+
+use i2p_data::{Hash256, SimTime};
+use i2p_netdb::lookup::{IterativeLookup, ALPHA};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn h(seed: u64, i: usize) -> Hash256 {
+    let mut m = [0u8; 16];
+    m[..8].copy_from_slice(&seed.to_be_bytes());
+    m[8..].copy_from_slice(&(i as u64).to_be_bytes());
+    Hash256::digest(&m)
+}
+
+/// A deterministic pseudo-arbitrary responder graph: peer `i` answers
+/// a miss with a reply set derived from its hash bytes — anywhere from
+/// an empty reply to a dense fan-out, self-references and repeats
+/// included (the driver must tolerate all of it).
+fn replies_of(seed: u64, i: usize, n: usize, fanout: usize) -> Vec<Hash256> {
+    let bytes = h(seed ^ 0x5E7, i).0;
+    let len = bytes[0] as usize % (fanout + 1);
+    (0..len).map(|j| h(seed, bytes[j % 32] as usize % n)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn walk_terminates_without_requeries(
+        seed in any::<u64>(),
+        n in 1usize..80,
+        initial_k in 1usize..10,
+        fanout in 0usize..12,
+        holder_share in 0u8..40,
+        day in 0u64..400,
+    ) {
+        let peers: Vec<Hash256> = (0..n).map(|i| h(seed, i)).collect();
+        let holders: HashSet<Hash256> = peers
+            .iter()
+            .filter(|p| p.0[1] < holder_share)
+            .copied()
+            .collect();
+        let target = h(seed ^ 0xFACE, 0);
+        let initial: Vec<Hash256> = peers.iter().take(initial_k).copied().collect();
+        let mut walk =
+            IterativeLookup::new(target, initial, SimTime::from_day_ms(day, 0));
+
+        let mut all_queried: HashSet<Hash256> = HashSet::new();
+        let mut rounds = 0usize;
+        loop {
+            let before = walk.queried_count();
+            let qs = walk.next_queries();
+            prop_assert!(qs.len() <= ALPHA, "at most α queries per round");
+            if qs.is_empty() {
+                // Termination is only ever by success or exhaustion.
+                prop_assert!(walk.is_found() || walk.is_exhausted());
+                break;
+            }
+            // queried_count is monotone and exact.
+            prop_assert_eq!(walk.queried_count(), before + qs.len());
+            for q in qs {
+                prop_assert!(all_queried.insert(q), "peer queried twice");
+                prop_assert!(
+                    peers.contains(&q),
+                    "driver invented a peer it was never told about"
+                );
+                if holders.contains(&q) {
+                    walk.on_found();
+                } else {
+                    let i = peers.iter().position(|p| *p == q).expect("known peer");
+                    let reply = replies_of(seed, i, n, fanout);
+                    let qc = walk.queried_count();
+                    walk.on_closer(&reply);
+                    // Feeding replies never changes the queried count.
+                    prop_assert_eq!(walk.queried_count(), qc);
+                }
+            }
+            rounds += 1;
+            prop_assert!(rounds <= n + 1, "livelock: more rounds than peers exist");
+        }
+        // Never more queries than peers exist; found and exhausted are
+        // mutually exclusive outcomes.
+        prop_assert!(walk.queried_count() <= n);
+        prop_assert!(walk.is_found() != walk.is_exhausted() || walk.queried_count() == 0);
+        // After termination the machine stays terminated.
+        prop_assert!(walk.next_queries().is_empty());
+        prop_assert!(walk.queried_count() <= n);
+    }
+
+    #[test]
+    fn maximal_flood_graph_still_terminates(seed in any::<u64>(), n in 1usize..60) {
+        // The worst stalling adversary: every responder returns the
+        // entire peer set on every miss, and nobody holds the record.
+        let peers: Vec<Hash256> = (0..n).map(|i| h(seed, i)).collect();
+        let target = h(seed ^ 0xBEEF, 0);
+        let mut walk = IterativeLookup::new(
+            target,
+            peers[..1.min(n)].to_vec(),
+            SimTime::from_day_ms(0, 0),
+        );
+        let mut seen = HashSet::new();
+        loop {
+            let qs = walk.next_queries();
+            if qs.is_empty() {
+                break;
+            }
+            for q in qs {
+                prop_assert!(seen.insert(q), "flood graph forced a re-query");
+                walk.on_closer(&peers);
+            }
+        }
+        // Every peer queried exactly once, then exhaustion.
+        prop_assert_eq!(walk.queried_count(), n);
+        prop_assert!(walk.is_exhausted());
+        prop_assert!(!walk.is_found());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests over the netDb keyspace primitives: k-bucket table
+//! invariants and daily routing-key rotation. These are the structures
+//! the keyspace-routed harvest and the Sybil scenarios in `i2p-measure`
+//! are built on, so their invariants are load-bearing well beyond this
+//! crate.
+
+use i2p_data::{Hash256, SimTime};
+use i2p_netdb::kbucket::{KBucketTable, K};
+use i2p_netdb::routing_key::RoutingKey;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn h(seed: u64, i: u32) -> Hash256 {
+    let mut m = [0u8; 12];
+    m[..8].copy_from_slice(&seed.to_be_bytes());
+    m[8..].copy_from_slice(&i.to_be_bytes());
+    Hash256::digest(&m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kbucket_insert_invariants(seed in any::<u64>(), n in 1u32..600) {
+        let local = h(seed, u32::MAX);
+        let mut t = KBucketTable::new(local);
+        let mut accepted: HashSet<Hash256> = HashSet::new();
+        for i in 0..n {
+            let key = h(seed ^ 1, i % (n / 2 + 1)); // force duplicate offers
+            let had = accepted.contains(&key);
+            let inserted = t.insert(key);
+            if inserted {
+                prop_assert!(!had, "re-inserting an accepted key must fail");
+                accepted.insert(key);
+            }
+            // Re-offering an accepted key is always rejected.
+            prop_assert!(!t.insert(key));
+        }
+        // Table length is exactly the accepted set; every accepted key
+        // is contained, and the local key never is.
+        prop_assert_eq!(t.len(), accepted.len());
+        prop_assert!(accepted.iter().all(|k| t.contains(k)));
+        prop_assert!(!t.contains(&local));
+        prop_assert!(t.iter().count() == t.len());
+
+        // Bucket bounds: every stored key sits in the bucket its
+        // prefix dictates, and no bucket exceeds K entries.
+        let mut per_bucket = [0usize; 256];
+        for k in t.iter() {
+            let idx = local.bucket_index(k).expect("stored key != local");
+            per_bucket[idx] += 1;
+        }
+        prop_assert!(per_bucket.iter().all(|&c| c <= K), "bucket over capacity");
+
+        // Removal really removes, exactly once.
+        for k in accepted.iter().take(10) {
+            prop_assert!(t.remove(k));
+            prop_assert!(!t.remove(k));
+            prop_assert!(!t.contains(k));
+        }
+    }
+
+    #[test]
+    fn kbucket_closest_matches_naive_sort(seed in any::<u64>(), n in 1u32..300, want in 1usize..25) {
+        let local = h(seed, u32::MAX);
+        let mut t = KBucketTable::new(local);
+        for i in 0..n {
+            t.insert(h(seed ^ 2, i));
+        }
+        let target = h(seed ^ 3, 0);
+        let got = t.closest(&target, want);
+        // Ascending by distance, no duplicates, correct length.
+        prop_assert_eq!(got.len(), want.min(t.len()));
+        for w in got.windows(2) {
+            prop_assert!(w[0].distance(&target) < w[1].distance(&target));
+        }
+        // Exactly the naive top-k.
+        let mut all: Vec<Hash256> = t.iter().copied().collect();
+        all.sort_by_key(|k| k.distance(&target));
+        all.truncate(want);
+        prop_assert_eq!(got, all);
+    }
+
+    #[test]
+    fn routing_key_stable_within_a_day(seed in any::<u64>(), day in 0u64..2000, ms in 0u64..86_400_000) {
+        let key = h(seed, 7);
+        let at_midnight = RoutingKey::for_day(&key, day);
+        let later = RoutingKey::for_time(&key, SimTime::from_day_ms(day, ms));
+        prop_assert_eq!(at_midnight, later, "same UTC day must give the same routing key");
+    }
+
+    #[test]
+    fn routing_key_rotates_across_days(seed in any::<u64>(), day in 0u64..2000) {
+        let key = h(seed, 11);
+        let today = RoutingKey::for_day(&key, day);
+        let tomorrow = RoutingKey::for_day(&key, day + 1);
+        prop_assert_ne!(today, tomorrow, "adjacent days must rotate the key");
+        // Distinct search keys stay distinct after rotation.
+        let other = h(seed ^ 5, 11);
+        prop_assert_ne!(RoutingKey::for_day(&other, day), RoutingKey::for_day(&key, day));
+    }
+
+    #[test]
+    fn routing_distance_symmetric_and_zero_on_self(seed in any::<u64>(), day in 0u64..2000) {
+        let a = RoutingKey::for_day(&h(seed, 1), day);
+        let b = RoutingKey::for_day(&h(seed, 2), day);
+        prop_assert_eq!(a.distance(&b), b.distance(&a), "XOR distance is symmetric");
+        prop_assert_eq!(a.distance(&a), i2p_data::hash::Distance::ZERO);
+        // Distance respects the rotation: recomputed positions give the
+        // same distance (pure function of the day's keys).
+        let a2 = RoutingKey::for_day(&h(seed, 1), day);
+        prop_assert_eq!(a.distance(&b), a2.distance(&b));
+    }
+}

@@ -196,6 +196,13 @@ impl World {
     pub fn ever_online(&self) -> impl Iterator<Item = &PeerRecord> {
         self.index.ever_ids().iter().map(|&id| &self.peers[id as usize])
     }
+
+    /// Count of floodfill routers online on `day` — the honest DHT
+    /// placement population the keyspace-routed visibility model and
+    /// the Sybil scenarios measure attacker leverage against.
+    pub fn online_floodfill_count(&self, day: u64) -> usize {
+        self.online_peers(day).filter(|p| p.floodfill).count()
+    }
 }
 
 #[cfg(test)]

@@ -356,6 +356,64 @@ mod tests {
     }
 
     #[test]
+    fn keyspace_and_sybil_captures_roundtrip_bit_identically() {
+        // The snapshot format archives whatever sighting sets the
+        // engine holds — a keyspace-routed (and even Sybil-attacked)
+        // harvest must survive the byte roundtrip exactly like the
+        // uniform one, so attacked censuses can be replayed and diffed.
+        use i2p_measure::keyspace::{KeyspaceConfig, VisibilityModel};
+        use i2p_measure::sybil;
+        let (world, fleet) = tiny();
+        let keyed = HarvestEngine::build_with(
+            &world,
+            &fleet,
+            0..4,
+            &VisibilityModel::Keyspace(KeyspaceConfig::paper()),
+        );
+        let cfg = sybil::SybilConfig { threads: 1, ..sybil::SybilConfig::paper(0..4) };
+        let target = sybil::pick_target(&world, 0..4);
+        let attacked = sybil::attacked_engine(&world, &fleet, &cfg, target, 8);
+        for engine in [&keyed, &attacked] {
+            let bytes = Snapshot::capture(engine).to_bytes();
+            let replay = Snapshot::from_bytes(&bytes).expect("roundtrip");
+            for day in 0..4 {
+                assert_eq!(replay.coverage_curve(day), engine.coverage_curve(day));
+                let mut ids = Vec::new();
+                replay.for_each_union_id(day, 4, &mut |id| ids.push(id));
+                assert_eq!(ids, engine.union_prefix_ids(day, 4), "day {day}");
+            }
+        }
+        // Sybils only ever absorb stores, so the attacked census can
+        // never exceed the clean keyspace one.
+        for day in 0..4 {
+            assert!(attacked.count_union(day) <= keyed.count_union(day), "day {day}");
+        }
+        // And the attack must actually bite at the placement level: 8
+        // Sybils ground 48-deep against ~30 honest floodfills eclipse
+        // the target.
+        use i2p_measure::keyspace::{day_population, eclipsed};
+        use i2p_netdb::RoutingKey;
+        let ecl = (0..4).filter(|&day| {
+            let ids = world.online_ids(day).expect("study window");
+            let mut ks = KeyspaceConfig::paper();
+            ks.sybils.insert(
+                day,
+                sybil::grind_sybils(
+                    &world.peers[target as usize].hash,
+                    day,
+                    8,
+                    cfg.grind_per_sybil,
+                    cfg.attacker_seed,
+                ),
+            );
+            let pop = day_population(&world, &fleet.vantages, ids, day, &ks);
+            let rkey = RoutingKey::for_day(&world.peers[target as usize].hash, day);
+            eclipsed(&pop, &rkey, ks.replication)
+        });
+        assert!(ecl.count() > 0, "8 Sybils at scale 0.01 must eclipse the target");
+    }
+
+    #[test]
     fn capture_matches_engine_queries() {
         let (world, fleet) = tiny();
         let engine = HarvestEngine::build(&world, &fleet, 0..4);

@@ -6,9 +6,11 @@
 //! i2pscope figures (--from FILE | --live) [--format text|csv]
 //!                  [--fig LIST] [--verify] [knobs]
 //! i2pscope sweep   [--format text|csv] [knobs]
+//! i2pscope sybil   [--sybils LIST] [--capture FILE]
+//!                  [--format text|csv] [knobs]
 //!
 //! knobs: --scale F  --seed N  --days N  --fleet N
-//!        --replicates N  --threads N
+//!        --replicates N  --threads N  --model uniform|keyspace
 //!        (defaults come from the I2PSCOPE_* environment variables)
 //! ```
 
@@ -26,6 +28,8 @@ commands:
   figures --from FILE    render the paper's figures from a snapshot
   figures --live         render the same figures from a live harvest
   sweep                  run the Fig. 14 usability sweep (TestNet)
+  sybil                  run the eclipse/Sybil sweep on the keyspace-
+                         routed harvest (§4/§7 attack analysis)
 
 options:
   --format text|csv      output format (default text)
@@ -33,6 +37,13 @@ options:
                          (default all: 4,5,6,7,8,9,10,11,12,table1)
   --verify               figures --from: also decode and signature-
                          verify every archived RouterInfo record
+  --model uniform|keyspace
+                         harvest visibility model for census/harvest/
+                         figures --live (default uniform, the oracle)
+  --sybils LIST          sybil: comma-separated Sybil counts per day
+                         (default 0,1,2,4,8,16,32)
+  --capture FILE         sybil: archive the attacked harvest at the
+                         largest count as an .i2ps snapshot
   --scale F --seed N --days N --fleet N --replicates N --threads N
                          override the I2PSCOPE_* environment knobs
 ";
@@ -45,6 +56,8 @@ struct Args {
     from: Option<PathBuf>,
     live: bool,
     verify: bool,
+    sybils: Option<Vec<usize>>,
+    capture: Option<PathBuf>,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
@@ -57,6 +70,8 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         from: None,
         live: false,
         verify: false,
+        sybils: None,
+        capture: None,
     };
     let mut argv = argv.peekable();
     while let Some(flag) = argv.next() {
@@ -75,6 +90,16 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             "--from" => args.from = Some(PathBuf::from(value("--from")?)),
             "--live" => args.live = true,
             "--verify" => args.verify = true,
+            "--model" => args.knobs.model = value("--model")?.parse()?,
+            "--sybils" => {
+                args.sybils = Some(
+                    value("--sybils")?
+                        .split(',')
+                        .map(|c| parse_num(c.trim(), "--sybils"))
+                        .collect::<Result<Vec<usize>, _>>()?,
+                );
+            }
+            "--capture" => args.capture = Some(PathBuf::from(value("--capture")?)),
             "--scale" => args.knobs.scale = parse_num(&value("--scale")?, "--scale")?,
             "--seed" => args.knobs.seed = parse_num(&value("--seed")?, "--seed")?,
             "--days" => args.knobs.days = parse_num(&value("--days")?, "--days")?,
@@ -112,6 +137,13 @@ fn run() -> Result<String, String> {
             _ => Err("figures needs exactly one of --from FILE or --live".to_string()),
         },
         "sweep" => Ok(cli::sweep(&args.knobs, args.format)),
+        "sybil" => cli::sybil(
+            &args.knobs,
+            args.format,
+            args.sybils,
+            args.capture.as_deref(),
+        )
+        .map_err(|e| e.to_string()),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}")),
     }

@@ -6,14 +6,18 @@
 //! paper's workflow: `census` runs the measurements live, `harvest`
 //! archives the dataset into an `i2p-store` snapshot, `figures` renders
 //! the paper's figures from either a live world (`--live`) or an
-//! archived snapshot (`--from`) — **byte-identically** — and `sweep`
-//! runs the Fig. 14 usability experiment on the protocol-level TestNet.
+//! archived snapshot (`--from`) — **byte-identically** — `sweep` runs
+//! the Fig. 14 usability experiment on the protocol-level TestNet, and
+//! `sybil` runs the eclipse/Sybil sweep against the keyspace-routed
+//! harvest (`--model keyspace` switches the other commands onto the
+//! same placement model; uniform stays the oracle).
 
 use i2p_measure::engine::HarvestEngine;
 use i2p_measure::fleet::Fleet;
+use i2p_measure::keyspace::{KeyspaceConfig, VisibilityModel};
 use i2p_measure::source::SnapshotSource;
 use i2p_measure::usability::{evaluate, UsabilityConfig};
-use i2p_measure::{capacity, churn, geo, ipchurn, population, report};
+use i2p_measure::{capacity, churn, geo, ipchurn, population, report, sybil};
 use i2p_sim::world::{World, WorldConfig};
 use i2p_store::{Snapshot, StoreError};
 use std::fmt::Write as _;
@@ -37,6 +41,41 @@ pub struct Knobs {
     pub replicates: usize,
     /// Sweep threads (`I2PSCOPE_THREADS`, 0 = one per core).
     pub threads: usize,
+    /// Harvest visibility model (`I2PSCOPE_MODEL`: uniform|keyspace).
+    pub model: Model,
+}
+
+/// Which visibility model the harvest runs under — the CLI-facing
+/// selector for [`VisibilityModel`] (uniform stays the oracle mode).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Model {
+    /// The calibrated uniform-exposure model (DESIGN.md §3).
+    #[default]
+    Uniform,
+    /// Keyspace-routed floodfill placement (DESIGN.md §8).
+    Keyspace,
+}
+
+impl Model {
+    /// The engine-level model this selector stands for.
+    pub fn visibility(self) -> VisibilityModel {
+        match self {
+            Model::Uniform => VisibilityModel::Uniform,
+            Model::Keyspace => VisibilityModel::Keyspace(KeyspaceConfig::paper()),
+        }
+    }
+}
+
+impl std::str::FromStr for Model {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "uniform" => Ok(Model::Uniform),
+            "keyspace" => Ok(Model::Keyspace),
+            other => Err(format!("unknown model {other:?} (expected uniform|keyspace)")),
+        }
+    }
 }
 
 /// Parses env var `name` as `T`, defaulting when unset; malformed
@@ -62,6 +101,7 @@ impl Knobs {
             fleet: env_parse("I2PSCOPE_FLEET", 20),
             replicates: env_parse("I2PSCOPE_REPLICATES", 1),
             threads: env_parse("I2PSCOPE_THREADS", 0),
+            model: env_parse("I2PSCOPE_MODEL", Model::Uniform),
         }
     }
 
@@ -284,7 +324,8 @@ pub fn render_figures(src: &dyn SnapshotSource, format: Format, figs: &[FigId]) 
 pub fn census(knobs: &Knobs, format: Format, figs: &[FigId]) -> String {
     let world = knobs.world();
     let fleet = knobs.fleet();
-    let engine = HarvestEngine::build(&world, &fleet, 0..knobs.days);
+    let engine =
+        HarvestEngine::build_with(&world, &fleet, 0..knobs.days, &knobs.model.visibility());
     let mut out = format!(
         "world: {} peers over {} days, ~{} online daily; fleet: {} monitoring routers\n\n",
         world.total_peers(),
@@ -301,7 +342,8 @@ pub fn census(knobs: &Knobs, format: Format, figs: &[FigId]) -> String {
 pub fn harvest(knobs: &Knobs, out_path: &Path) -> Result<String, StoreError> {
     let world = knobs.world();
     let fleet = knobs.fleet();
-    let engine = HarvestEngine::build(&world, &fleet, 0..knobs.days);
+    let engine =
+        HarvestEngine::build_with(&world, &fleet, 0..knobs.days, &knobs.model.visibility());
     let snapshot = Snapshot::capture(&engine);
     let bytes = snapshot.to_bytes();
     std::fs::write(out_path, &bytes)?;
@@ -330,7 +372,8 @@ pub fn harvest(knobs: &Knobs, out_path: &Path) -> Result<String, StoreError> {
 pub fn figures_live(knobs: &Knobs, format: Format, figs: &[FigId]) -> String {
     let world = knobs.world();
     let fleet = knobs.fleet();
-    let engine = HarvestEngine::build(&world, &fleet, 0..knobs.days);
+    let engine =
+        HarvestEngine::build_with(&world, &fleet, 0..knobs.days, &knobs.model.visibility());
     render_figures(&engine, format, figs)
 }
 
@@ -369,4 +412,51 @@ pub fn sweep(knobs: &Knobs, format: Format) -> String {
         Format::Text => report::render_fig14(&points),
         Format::Csv => titled_csv("Figure 14", report::csv_fig14(&points)),
     }
+}
+
+/// `i2pscope sybil`: the eclipse/Sybil sweep on the keyspace-routed
+/// harvest. `counts` overrides the default Sybil-count grid;
+/// `I2PSCOPE_GRIND` sets the per-Sybil grinding budget (the attacker
+/// needs roughly one winning candidate per online floodfill, so scale
+/// it with the floodfill population). With `capture`, the attacked
+/// harvest at the grid's largest count is archived as an `.i2ps`
+/// snapshot for replay (`i2pscope figures --from`).
+pub fn sybil(
+    knobs: &Knobs,
+    format: Format,
+    counts: Option<Vec<usize>>,
+    capture: Option<&Path>,
+) -> Result<String, StoreError> {
+    let world = knobs.world();
+    let fleet = knobs.fleet();
+    let mut cfg = sybil::SybilConfig::paper(0..knobs.days);
+    cfg.threads = knobs.threads;
+    cfg.grind_per_sybil = env_parse("I2PSCOPE_GRIND", cfg.grind_per_sybil);
+    if let Some(counts) = counts {
+        cfg.counts = counts;
+    }
+    let sweep = sybil::run(&world, &fleet, &cfg);
+    let mut out = match format {
+        Format::Text => report::render_sybil(&sweep),
+        Format::Csv => titled_csv("Sybil sweep", report::csv_sybil(&sweep)),
+    };
+    if let Some(path) = capture {
+        let max = *cfg.counts.iter().max().expect("validated non-empty grid");
+        let engine = sybil::attacked_engine(&world, &fleet, &cfg, sweep.target_id, max);
+        let snapshot = Snapshot::capture(&engine);
+        std::fs::write(path, snapshot.to_bytes())?;
+        // In CSV mode the status line is a `#` comment, like every
+        // other scalar footer the csv_* emitters produce.
+        let prefix = match format {
+            Format::Text => "",
+            Format::Csv => "# ",
+        };
+        let _ = writeln!(
+            out,
+            "{prefix}captured attacked harvest ({max} Sybils/day, target {}) to {}",
+            sweep.target_id,
+            path.display()
+        );
+    }
+    Ok(out)
 }
