@@ -282,6 +282,14 @@ impl GeoDb {
         };
         Some(Location { country: self.ases[asn_id].country, asn_id })
     }
+
+    /// The country an address resolves to, if the database allocated it
+    /// — a convenience over [`GeoDb::lookup`] for consumers that block
+    /// at country granularity (the geo-aware censor in `i2p-measure`)
+    /// and never touch the AS dimension.
+    pub fn country_of(&self, ip: PeerIp) -> Option<CountryId> {
+        self.lookup(ip).map(|loc| loc.country)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,200 @@
+//! The string-keyed adversary registry.
+//!
+//! Two resolution layers:
+//!
+//! * [`build`] — the registered catalog: the five paper attacks plus
+//!   the three composed scenarios, by exact name. This is what
+//!   `i2pscope adversary <name>` and `--list` enumerate.
+//! * [`parse_spec`] — the full spec grammar: an exact registered name
+//!   wins (so `sybil+censor` resolves to its curated preset), otherwise
+//!   a `+`-separated spec is parsed as an ad-hoc chain of *leaf*
+//!   members over the generic escalation grid.
+//!
+//! Unknown names and malformed chains are reported with the registered
+//! list, matching the `I2PSCOPE_*` knob convention of failing loudly;
+//! [`resolve_or_panic`] is the env-knob path that panics,
+//! [`parse_spec`] the CLI-flag path that returns `Err`.
+
+use super::builtin::{
+    AdaptiveCensor, Bridges, Censor, ClosedLoop, Deanon, GeoCensor, SybilEclipse,
+};
+use super::{Adversary, Composed};
+use std::fmt::Write as _;
+
+/// The registered names, in catalog order.
+pub const NAMES: [&str; 8] =
+    ["censor", "deanon", "closedloop", "sybil", "bridges", "sybil+censor", "adaptive", "geo"];
+
+/// Builds the registered adversary for `name`, or `None` if the name
+/// is not in the catalog.
+pub fn build(name: &str) -> Option<Box<dyn Adversary>> {
+    Some(match name {
+        "censor" => Box::new(Censor),
+        "deanon" => Box::new(Deanon),
+        "closedloop" => Box::new(ClosedLoop),
+        "sybil" => Box::new(SybilEclipse),
+        "bridges" => Box::new(Bridges),
+        "sybil+censor" => Box::new(Composed::sybil_censor()),
+        "adaptive" => Box::new(Composed::adaptive()),
+        "geo" => Box::new(Composed::geo()),
+        _ => return None,
+    })
+}
+
+/// Builds the *leaf* (chainable) member for `name` — the composed
+/// presets resolve to their single underlying member here, so a chain
+/// like `sybil+adaptive` gets day-granular hooks, not nested chains.
+pub fn leaf(name: &str) -> Option<Box<dyn Adversary>> {
+    Some(match name {
+        "censor" => Box::new(Censor),
+        "deanon" => Box::new(Deanon),
+        "closedloop" => Box::new(ClosedLoop),
+        "sybil" => Box::new(SybilEclipse),
+        "bridges" => Box::new(Bridges),
+        "adaptive" => Box::new(AdaptiveCensor),
+        "geo" => Box::new(GeoCensor),
+        _ => return None,
+    })
+}
+
+/// The registered names in catalog order.
+pub fn names() -> Vec<&'static str> {
+    NAMES.to_vec()
+}
+
+/// Every registered adversary, in catalog order (what `--list`
+/// renders and the uniqueness test walks).
+pub fn all() -> Vec<Box<dyn Adversary>> {
+    NAMES.iter().map(|n| build(n).expect("registered name builds")).collect()
+}
+
+/// Parses an adversary spec: an exact registered name, or a
+/// `+`-separated chain of leaf members. Errors name the offending
+/// token and list the registered adversaries.
+pub fn parse_spec(spec: &str) -> Result<Box<dyn Adversary>, String> {
+    let spec = spec.trim();
+    if spec.is_empty() {
+        return Err(format!("empty adversary spec (registered adversaries: {})", NAMES.join(", ")));
+    }
+    if let Some(adv) = build(spec) {
+        return Ok(adv);
+    }
+    if spec.contains('+') {
+        let mut members = Vec::new();
+        for (i, segment) in spec.split('+').enumerate() {
+            let segment = segment.trim();
+            if segment.is_empty() {
+                return Err(format!(
+                    "malformed adversary chain {spec:?}: empty member at position {} \
+                     (chains are '+'-separated registered names, e.g. sybil+censor)",
+                    i + 1
+                ));
+            }
+            match leaf(segment) {
+                Some(m) => members.push(m),
+                None => {
+                    return Err(format!(
+                        "unknown adversary {segment:?} in chain {spec:?} \
+                         (registered adversaries: {})",
+                        NAMES.join(", ")
+                    ));
+                }
+            }
+        }
+        return Ok(Box::new(Composed::chain(spec, members)));
+    }
+    Err(format!("unknown adversary {spec:?} (registered adversaries: {})", NAMES.join(", ")))
+}
+
+/// [`parse_spec`] for the `I2PSCOPE_ADVERSARY` env-knob path: panics
+/// with the parse error, like every other malformed `I2PSCOPE_*` value.
+pub fn resolve_or_panic(spec: &str) -> Box<dyn Adversary> {
+    parse_spec(spec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Renders the catalog listing (`i2pscope adversary --list`): name,
+/// paper anchor, figure, capabilities, description per registered
+/// adversary, plus the chain grammar.
+pub fn catalog() -> String {
+    let mut out = String::from(
+        "Registered adversaries (i2pscope adversary <name>)\n\
+         --------------------------------------------------\n",
+    );
+    for adv in all() {
+        let caps: Vec<&str> = adv.capabilities().iter().map(|c| c.label()).collect();
+        let _ = writeln!(
+            out,
+            "{:<14} {:<22} {:<24} {}\n{:<14} capabilities: {}",
+            adv.name(),
+            adv.paper_ref(),
+            adv.figure_ref(),
+            adv.describe(),
+            "",
+            caps.join(", "),
+        );
+    }
+    out.push_str(
+        "\nchains: any '+'-separated leaf names compose day-by-day over the\n\
+         escalation grid, e.g. `i2pscope adversary sybil+adaptive`.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_builds_and_matches() {
+        for name in NAMES {
+            let adv = build(name).expect("registered name must build");
+            assert_eq!(adv.name(), name, "registered key must equal the adversary's name");
+        }
+    }
+
+    #[test]
+    fn registered_names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for name in NAMES {
+            assert!(seen.insert(name), "duplicate registered adversary name {name:?}");
+        }
+    }
+
+    #[test]
+    fn ad_hoc_chains_parse_and_presets_win() {
+        // The preset resolves to the curated Composed, not an ad-hoc
+        // chain: its description is the curated one.
+        let preset = parse_spec("sybil+censor").expect("preset");
+        assert!(preset.describe().contains("Sybil-eclipsed"));
+        // An unregistered combination parses as an ad-hoc chain.
+        let chain = parse_spec("sybil+adaptive").expect("ad-hoc chain");
+        assert_eq!(chain.name(), "sybil+adaptive");
+        assert!(chain.describe().contains("user-composed"));
+    }
+
+    fn err_of(spec: &str) -> String {
+        match parse_spec(spec) {
+            Ok(adv) => panic!("spec {spec:?} unexpectedly parsed as {:?}", adv.name()),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn parse_errors_list_the_registry() {
+        let e = err_of("nosuch");
+        assert!(e.contains("unknown adversary \"nosuch\""), "{e}");
+        assert!(e.contains("registered adversaries"), "{e}");
+        let e = err_of("sybil++censor");
+        assert!(e.contains("malformed adversary chain"), "{e}");
+        let e = err_of("sybil+nosuch");
+        assert!(e.contains("in chain"), "{e}");
+        let e = err_of("  ");
+        assert!(e.contains("empty adversary spec"), "{e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered adversaries")]
+    fn env_path_panics_on_unknown_names() {
+        resolve_or_panic("definitely-not-registered");
+    }
+}

@@ -12,7 +12,9 @@
 //! attacker-controlled hops — the precondition for the deanonymization
 //! attacks the paper cites.
 
-use crate::censor::{censor_blacklist, censor_blacklist_from_engine, victim_view, VictimView};
+use crate::censor::{
+    censor_blacklist, censor_blacklist_from_engine, victim_view, VictimView, VICTIM_SALT,
+};
 use crate::engine::HarvestEngine;
 use crate::fleet::Fleet;
 use crate::lab;
@@ -56,7 +58,7 @@ pub fn attack_setup(
     window_days: u64,
     n_malicious: usize,
 ) -> (AttackSetup, VictimView, FxHashSet<i2p_data::PeerIp>) {
-    let victim = victim_view(world, eval_day, 0x51C);
+    let victim = victim_view(world, eval_day, VICTIM_SALT);
     let blacklist = censor_blacklist(world, fleet, censor_routers, window_days, eval_day);
     let setup = setup_for(&victim, &blacklist, n_malicious);
     (setup, victim, blacklist)
@@ -131,7 +133,7 @@ pub fn sweep_attacks(
             s.window_days
         );
     }
-    let victim = victim_view(world, eval_day, 0x51C);
+    let victim = victim_view(world, eval_day, VICTIM_SALT);
     let max_window = scenarios.iter().map(|s| s.window_days).max().unwrap_or(1);
     let from = eval_day.saturating_sub(max_window - 1);
     let engine = HarvestEngine::build(world, fleet, from..eval_day + 1);
@@ -152,8 +154,10 @@ pub fn sweep_attacks(
     })
 }
 
-/// The tunnel-building core shared by the oracle and the sweep.
-fn run_attack(
+/// The tunnel-building core shared by the oracle, the sweep, and the
+/// adversary chains (which hand it an effective blacklist assembled
+/// from whatever capabilities the chain deployed).
+pub(crate) fn run_attack(
     victim: &VictimView,
     blacklist: &FxHashSet<i2p_data::PeerIp>,
     n_malicious: usize,
@@ -234,6 +238,24 @@ pub fn render_attack_sweep(outcomes: &[AttackOutcome]) -> String {
             o.setup.blocking_rate_pct,
             o.fully_compromised_pct,
             o.partially_compromised_pct
+        );
+    }
+    out
+}
+
+/// CSV twin of [`render_attack_sweep`].
+pub fn csv_attack_sweep(outcomes: &[AttackOutcome]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("malicious,blocking_pct,fully_pct,partial_pct,tunnels\n");
+    for o in outcomes {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            o.setup.malicious,
+            o.setup.blocking_rate_pct,
+            o.fully_compromised_pct,
+            o.partially_compromised_pct,
+            o.tunnels
         );
     }
     out

@@ -54,7 +54,10 @@ impl BridgeStrategy {
         }
     }
 
-    fn candidates<'w>(&self, world: &'w World, day: u64) -> Vec<&'w PeerRecord> {
+    /// The peers a distributor following this strategy would consider
+    /// handing out on `day` (shared with the adversary chains, which
+    /// re-score the same candidate pool against a chain-built blacklist).
+    pub(crate) fn candidates<'w>(&self, world: &'w World, day: u64) -> Vec<&'w PeerRecord> {
         let d = day as i64;
         match self {
             BridgeStrategy::RandomKnown => world.online_peers(day).collect(),
@@ -241,6 +244,24 @@ pub fn render_bridge_comparison(outcomes: &[BridgeOutcome]) -> String {
         let _ = writeln!(
             out,
             "{:<22} {:>7}   {:>10.1}%   {:>14.1}%  (+{} d)",
+            o.strategy.label(),
+            o.distributed,
+            o.usable_day0_pct,
+            o.usable_after_pct,
+            o.horizon
+        );
+    }
+    out
+}
+
+/// CSV twin of [`render_bridge_comparison`].
+pub fn csv_bridge_comparison(outcomes: &[BridgeOutcome]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("strategy,bridges,usable_day0_pct,usable_after_pct,horizon_days\n");
+    for o in outcomes {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
             o.strategy.label(),
             o.distributed,
             o.usable_day0_pct,

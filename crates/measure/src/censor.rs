@@ -10,12 +10,18 @@
 //! blacklist.
 
 use crate::engine::HarvestEngine;
-use crate::fleet::Fleet;
+use crate::fleet::{self, Fleet};
+use crate::lab;
 use i2p_crypto::DetRng;
 use i2p_data::{FxHashMap, FxHashSet, PeerIp};
 use i2p_sim::params;
 use i2p_sim::peer::PeerRecord;
 use i2p_sim::world::World;
+
+/// The salt every analysis derives the Fig. 13 victim from, so the
+/// censorship, deanonymization, and adversary-chain paths all attack
+/// the *same* long-term client.
+pub const VICTIM_SALT: u64 = 0x51C;
 
 /// The victim's accumulated netDb view.
 #[derive(Clone, Debug)]
@@ -25,23 +31,18 @@ pub struct VictimView {
 }
 
 /// Whether the victim client sighted `peer` on `day` — ordinary client
-/// capture strength, far below a monitoring router's.
+/// capture strength, far below a monitoring router's. The daily draw
+/// itself is [`fleet::daily_draw`], the same persistent/fresh mix the
+/// monitoring vantages use; only the seed and strength derivations are
+/// victim-specific.
 fn victim_sees(peer: &PeerRecord, day: u64, salt: u64) -> bool {
     if !peer.online(day as i64) {
         return false;
     }
     let exposure = params::VICTIM_CAPTURE * (0.85 * peer.w + 0.15 * peer.u);
     let p = 1.0 - (-exposure).exp();
-    // Same persistent/fresh mix as the monitoring vantages (see
-    // `fleet::Vantage::sees`).
     let pair_seed = peer.seed ^ salt.wrapping_mul(0xA076_1D64_78BD_642F);
-    let mut daily = DetRng::new(pair_seed ^ (day + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let u = if daily.next_f64() < params::FRESH_DRAW_PROB {
-        daily.next_f64()
-    } else {
-        DetRng::new(pair_seed ^ 0xF00D).next_f64()
-    };
-    u < p
+    fleet::daily_draw(pair_seed, day, p, || DetRng::new(pair_seed ^ 0xF00D).next_f64() < p)
 }
 
 /// Builds the victim's view as of `eval_day`: RouterInfos gathered over
@@ -110,21 +111,36 @@ pub fn censor_blacklist_from_engine(
     eval_day: u64,
 ) -> FxHashSet<PeerIp> {
     let from = eval_day.saturating_sub(window_days - 1);
-    let world = engine.world();
     let mut ips = FxHashSet::default();
     for day in from..=eval_day {
-        let d = day as i64;
-        // Membership plus the day's published addresses; no records.
-        engine.for_each_union_peer(day, n_routers, |peer| {
-            if peer.publishes_ip(d) {
-                ips.insert(peer.ipv4_on(d, &world.geo));
-                if let Some(v6) = peer.ipv6_on(d, &world.geo) {
-                    ips.insert(v6);
-                }
-            }
-        });
+        union_published_ips(engine, day, n_routers, &mut ips);
     }
     ips
+}
+
+/// Projects one harvested day onto the blockable address space: the
+/// published addresses (IPv4 plus optional IPv6) of every peer the
+/// first `k` vantages saw on `day`, accumulated into `into`. This is
+/// the single harvest→blacklist projection shared by the windowed
+/// blacklist above and the adversary chains' per-day views
+/// (`adversary::DayView`).
+pub fn union_published_ips(
+    engine: &HarvestEngine<'_>,
+    day: u64,
+    k: usize,
+    into: &mut FxHashSet<PeerIp>,
+) {
+    let world = engine.world();
+    let d = day as i64;
+    // Membership plus the day's published addresses; no records.
+    engine.for_each_union_peer(day, k, |peer| {
+        if peer.publishes_ip(d) {
+            into.insert(peer.ipv4_on(d, &world.geo));
+            if let Some(v6) = peer.ipv6_on(d, &world.geo) {
+                into.insert(v6);
+            }
+        }
+    });
 }
 
 /// Blocking rate: share of the victim's known IPs on the blacklist
@@ -155,7 +171,7 @@ pub fn blocking_matrix(
     router_counts: &[usize],
     windows: &[u64],
 ) -> Vec<BlockingSeries> {
-    let victim = victim_view(world, eval_day, 0x51C);
+    let victim = victim_view(world, eval_day, VICTIM_SALT);
     // One fill covering the longest window serves every matrix cell.
     let max_window = windows.iter().copied().max().unwrap_or(1);
     let from = eval_day.saturating_sub(max_window - 1);
@@ -170,6 +186,45 @@ pub fn blocking_matrix(
                     let bl = censor_blacklist_from_engine(&engine, n, w, eval_day);
                     (n, blocking_rate(&victim, &bl))
                 })
+                .collect(),
+        })
+        .collect()
+}
+
+/// [`blocking_matrix`] with its (window × routers) cells spread across
+/// the scenario lab: one engine fill and one victim build, then every
+/// cell's blacklist union runs as an independent `lab::sweep` work
+/// item. Bit-identical to the serial oracle at any thread count — the
+/// registered `censor` adversary runs through this path and the golden
+/// suite pins the equality.
+pub fn blocking_matrix_swept(
+    world: &World,
+    fleet: &Fleet,
+    eval_day: u64,
+    router_counts: &[usize],
+    windows: &[u64],
+    threads: usize,
+) -> Vec<BlockingSeries> {
+    let victim = victim_view(world, eval_day, VICTIM_SALT);
+    let max_window = windows.iter().copied().max().unwrap_or(1);
+    let from = eval_day.saturating_sub(max_window - 1);
+    let engine = HarvestEngine::build(world, fleet, from..eval_day + 1);
+    let cells: Vec<(u64, usize)> = windows
+        .iter()
+        .flat_map(|&w| router_counts.iter().map(move |&n| (w, n)))
+        .collect();
+    let rates = lab::sweep(&(&engine, &victim), &cells, threads, |&(engine, victim), &(w, n), _| {
+        blocking_rate(victim, &censor_blacklist_from_engine(engine, n, w, eval_day))
+    });
+    windows
+        .iter()
+        .enumerate()
+        .map(|(wi, &w)| BlockingSeries {
+            window_days: w,
+            points: router_counts
+                .iter()
+                .enumerate()
+                .map(|(ni, &n)| (n, rates[wi * router_counts.len() + ni]))
                 .collect(),
         })
         .collect()
@@ -224,6 +279,22 @@ mod tests {
         let five_day_at10 = series[1].points[2].1;
         assert!(five_day_at10 > at6, "windows help");
         assert!(five_day_at10 > 85.0, "10 routers, 5-day window: {five_day_at10}%");
+    }
+
+    #[test]
+    fn swept_matrix_matches_serial_oracle() {
+        let (w, fleet) = setup();
+        let serial = blocking_matrix(&w, &fleet, 35, &[1, 5, 10], &[1, 5]);
+        for threads in [1, 4] {
+            let swept = blocking_matrix_swept(&w, &fleet, 35, &[1, 5, 10], &[1, 5], threads);
+            assert_eq!(serial.len(), swept.len());
+            for (a, b) in serial.iter().zip(&swept) {
+                assert_eq!(a.window_days, b.window_days);
+                // Exact f64 equality: the lab distributes the cells, it
+                // must not change them.
+                assert_eq!(a.points, b.points, "threads {threads}");
+            }
+        }
     }
 
     #[test]

@@ -147,6 +147,28 @@ pub fn render_closed_loop(outcomes: &[ClosedLoopOutcome]) -> String {
     out
 }
 
+/// CSV twin of [`render_closed_loop`].
+pub fn csv_closed_loop(outcomes: &[ClosedLoopOutcome]) -> String {
+    let mut out = String::from(
+        "routers,window_days,blacklist_ips,blocked_relays,relays,achieved_pct,timeout_pct,load_s\n",
+    );
+    for o in outcomes {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            o.scenario.censor_routers,
+            o.scenario.window_days,
+            o.blacklist_ips,
+            o.blocked_relays,
+            o.relays,
+            o.point.blocking_rate_pct,
+            o.point.timeout_pct,
+            o.point.avg_load_time_s
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -121,12 +121,23 @@ impl Vantage {
         p: f64,
         persistent_hit: impl FnOnce() -> bool,
     ) -> bool {
-        let mut daily = DetRng::new(pair_seed ^ (day + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        if daily.next_f64() < params::FRESH_DRAW_PROB {
-            daily.next_f64() < p
-        } else {
-            persistent_hit()
-        }
+        daily_draw(pair_seed, day, p, persistent_hit)
+    }
+}
+
+/// The one daily-draw definition every observer in the system shares:
+/// mix a fresh per-day component with a persistent per-pair one
+/// ([`params::FRESH_DRAW_PROB`]). Monitoring vantages route here via
+/// [`Vantage::draw_against`]; the Fig. 13 victim client
+/// (`censor::victim_view`) calls it directly with its own seed/strength
+/// derivation. Keeping a single definition is what guarantees the two
+/// observer populations stay on the same sighting process as it evolves.
+pub fn daily_draw(pair_seed: u64, day: u64, p: f64, persistent_hit: impl FnOnce() -> bool) -> bool {
+    let mut daily = DetRng::new(pair_seed ^ (day + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    if daily.next_f64() < params::FRESH_DRAW_PROB {
+        daily.next_f64() < p
+    } else {
+        persistent_hit()
     }
 }
 

@@ -47,10 +47,15 @@
 //!   snapshots, with bit-identical figure output either way.
 //! * [`report`] — text renderers that print each figure/table in the
 //!   paper's layout, plus machine-readable CSV twins.
+//! * [`adversary`] — the unified adversary catalog: a common trait +
+//!   string-keyed registry over the five attack paths above, day-level
+//!   `observe`/`act` composition ([`adversary::Composed`]), and the
+//!   composed scenarios the paper never ran (DESIGN.md §9).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod attack;
 pub mod bridges;
 pub mod capacity;

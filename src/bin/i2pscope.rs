@@ -8,6 +8,8 @@
 //! i2pscope sweep   [--format text|csv] [knobs]
 //! i2pscope sybil   [--sybils LIST] [--capture FILE]
 //!                  [--format text|csv] [knobs]
+//! i2pscope adversary (NAME | --adversary NAME | --list)
+//!                  [--capture FILE] [--format text|csv] [knobs]
 //!
 //! knobs: --scale F  --seed N  --days N  --fleet N
 //!        --replicates N  --threads N  --model uniform|keyspace
@@ -30,6 +32,9 @@ commands:
   sweep                  run the Fig. 14 usability sweep (TestNet)
   sybil                  run the eclipse/Sybil sweep on the keyspace-
                          routed harvest (§4/§7 attack analysis)
+  adversary NAME         run a registered adversary (or a '+'-chain,
+                         e.g. sybil+censor) through the unified
+                         scenario engine; --list prints the catalog
 
 options:
   --format text|csv      output format (default text)
@@ -42,8 +47,11 @@ options:
                          figures --live (default uniform, the oracle)
   --sybils LIST          sybil: comma-separated Sybil counts per day
                          (default 0,1,2,4,8,16,32)
-  --capture FILE         sybil: archive the attacked harvest at the
-                         largest count as an .i2ps snapshot
+  --capture FILE         sybil/adversary: archive the (attacked)
+                         harvest as an .i2ps snapshot
+  --adversary NAME       adversary: the registered name or '+'-chain
+                         to run (or set I2PSCOPE_ADVERSARY)
+  --list                 adversary: print the registered catalog
   --scale F --seed N --days N --fleet N --replicates N --threads N
                          override the I2PSCOPE_* environment knobs
 ";
@@ -58,6 +66,8 @@ struct Args {
     verify: bool,
     sybils: Option<Vec<usize>>,
     capture: Option<PathBuf>,
+    adversary: Option<String>,
+    list: bool,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
@@ -72,6 +82,8 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         verify: false,
         sybils: None,
         capture: None,
+        adversary: None,
+        list: false,
     };
     let mut argv = argv.peekable();
     while let Some(flag) = argv.next() {
@@ -100,6 +112,8 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
                 );
             }
             "--capture" => args.capture = Some(PathBuf::from(value("--capture")?)),
+            "--adversary" => args.adversary = Some(value("--adversary")?),
+            "--list" => args.list = true,
             "--scale" => args.knobs.scale = parse_num(&value("--scale")?, "--scale")?,
             "--seed" => args.knobs.seed = parse_num(&value("--seed")?, "--seed")?,
             "--days" => args.knobs.days = parse_num(&value("--days")?, "--days")?,
@@ -108,6 +122,14 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
                 args.knobs.replicates = parse_num(&value("--replicates")?, "--replicates")?
             }
             "--threads" => args.knobs.threads = parse_num(&value("--threads")?, "--threads")?,
+            // The adversary command takes its spec as a positional
+            // argument (`i2pscope adversary sybil+censor`).
+            other if command == "adversary" && !other.starts_with('-') => {
+                if args.adversary.is_some() {
+                    return Err(format!("adversary given twice (second: {other:?})"));
+                }
+                args.adversary = Some(other.to_string());
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -144,6 +166,22 @@ fn run() -> Result<String, String> {
             args.capture.as_deref(),
         )
         .map_err(|e| e.to_string()),
+        "adversary" => {
+            if args.list {
+                return Ok(cli::adversary_catalog());
+            }
+            let spec = match args.adversary.or_else(cli::adversary_from_env) {
+                Some(spec) => spec,
+                None => {
+                    return Err(format!(
+                        "adversary needs a name (positional, --adversary NAME, or \
+                         I2PSCOPE_ADVERSARY); registered: {}",
+                        cli::adversary_names().join(", ")
+                    ))
+                }
+            };
+            cli::adversary(&args.knobs, &spec, args.format, args.capture.as_deref())
+        }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}")),
     }

@@ -12,6 +12,7 @@
 //! harvest (`--model keyspace` switches the other commands onto the
 //! same placement model; uniform stays the oracle).
 
+use i2p_measure::adversary::{self, AdversaryLab};
 use i2p_measure::engine::HarvestEngine;
 use i2p_measure::fleet::Fleet;
 use i2p_measure::keyspace::{KeyspaceConfig, VisibilityModel};
@@ -455,6 +456,72 @@ pub fn sybil(
             out,
             "{prefix}captured attacked harvest ({max} Sybils/day, target {}) to {}",
             sweep.target_id,
+            path.display()
+        );
+    }
+    Ok(out)
+}
+
+/// The `I2PSCOPE_ADVERSARY` environment knob: the default spec for
+/// `i2pscope adversary` when neither a positional name nor
+/// `--adversary` is given. Validated eagerly with the same
+/// panic-on-malformed semantics as every other `I2PSCOPE_*` knob, so a
+/// typo fails before a full-scale run, naming the registered
+/// adversaries.
+pub fn adversary_from_env() -> Option<String> {
+    std::env::var("I2PSCOPE_ADVERSARY").ok().map(|spec| {
+        // Panics on unknown names / malformed chains (env-knob path).
+        let _ = adversary::resolve_or_panic(&spec);
+        spec
+    })
+}
+
+/// The registered adversary names, for the binary's error messages.
+pub fn adversary_names() -> Vec<&'static str> {
+    adversary::names()
+}
+
+/// The catalog listing behind `i2pscope adversary --list`.
+pub fn adversary_catalog() -> String {
+    adversary::catalog()
+}
+
+/// Runs a registered adversary (or an ad-hoc `+`-chain) through the
+/// unified scenario engine: resolve the spec, build the lab from the
+/// knobs, run the sweep, print the figure plus the audit line, and
+/// optionally archive the adversary's harvest as an `.i2ps` capture.
+/// Everything printed (and captured) is byte-identical across thread
+/// counts.
+pub fn adversary(
+    knobs: &Knobs,
+    spec: &str,
+    format: Format,
+    capture: Option<&Path>,
+) -> Result<String, String> {
+    let adv = adversary::parse_spec(spec)?;
+    let world = knobs.world();
+    let fleet = knobs.fleet();
+    let lab = AdversaryLab::new(&world, &fleet, 0..knobs.days, knobs.threads);
+    let outcome = adv.run(&lab);
+    let mut out = match format {
+        Format::Text => outcome.figure.clone(),
+        Format::Csv => titled_csv(&format!("Adversary {}", outcome.name), outcome.csv.clone()),
+    };
+    // The audit line rides along in both formats (as a comment in CSV),
+    // like the other scalar footers.
+    let prefix = match format {
+        Format::Text => "",
+        Format::Csv => "# ",
+    };
+    let _ = writeln!(out, "{prefix}{}", outcome.audit_line());
+    if let Some(path) = capture {
+        let engine = adv.capture(&lab);
+        let snapshot = Snapshot::capture(&engine);
+        std::fs::write(path, snapshot.to_bytes()).map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            out,
+            "{prefix}captured adversary harvest ({} rows) to {}",
+            snapshot.total_rows(),
             path.display()
         );
     }

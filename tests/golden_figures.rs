@@ -18,6 +18,7 @@
 //! makes byte-level pinning possible at all.
 
 use i2pscope::cli::{self, FigId, Format, Knobs, Model};
+use i2pscope::measure::adversary::{parse_spec, AdversaryLab};
 use i2pscope::measure::censor::blocking_matrix;
 use i2pscope::measure::fleet::Fleet;
 use i2pscope::measure::sybil::{self, SybilConfig};
@@ -146,4 +147,23 @@ fn golden_extended_renderers() {
     let _ = write!(csv, "{}", report::csv_sybil(&sybil));
     check_golden("extended.txt", &text);
     check_golden("extended.csv", &csv);
+}
+
+#[test]
+fn golden_adversary_composed() {
+    // The three composed scenarios the paper never ran, pinned through
+    // the unified adversary engine: escalation tables plus the audit
+    // trail every registered run emits.
+    let world = world();
+    let fleet = Fleet::alternating(6);
+    let lab = AdversaryLab::new(&world, &fleet, 0..DAYS, 1);
+    let mut text = String::new();
+    let mut csv = String::new();
+    for spec in ["sybil+censor", "adaptive", "geo"] {
+        let outcome = parse_spec(spec).expect("registered composed scenario").run(&lab);
+        let _ = write!(text, "{}{}\n\n", outcome.figure, outcome.audit_line());
+        let _ = write!(csv, "{}", outcome.csv);
+    }
+    check_golden("adversary_composed.txt", &text);
+    check_golden("adversary_composed.csv", &csv);
 }

@@ -13,9 +13,12 @@
 //! path alike, so this suite pins fork ≡ rebuild, not equivalence to
 //! earlier releases' raw numbers.)
 
+use i2pscope::measure::adversary::{registry, run_chain, AdversaryLab, ChainKnobs};
 use i2pscope::measure::usability::{
     evaluate, run_one_rate, run_scenario, warm_substrate, UsabilityConfig,
 };
+use i2pscope::measure::Fleet;
+use i2pscope::sim::world::{World, WorldConfig};
 use i2pscope::transport::CensorMode;
 
 fn small_cfg() -> UsabilityConfig {
@@ -116,6 +119,37 @@ fn zero_blocking_is_identical_under_both_censor_modes() {
     // With an empty blocked set the chokepoint never acts; the censor
     // mode must be unobservable.
     assert_eq!(silent.fetches, reset.fetches);
+}
+
+#[test]
+fn composed_chain_day_loop_is_deterministic() {
+    // The adversary chains run through the same lab::sweep machinery;
+    // their day-loop core must replay bit for bit on a rerun.
+    let world = World::generate(WorldConfig { days: 6, scale: 0.02, seed: 23 });
+    let fleet = Fleet::alternating(4);
+    let lab = AdversaryLab::new(&world, &fleet, 0..6, 1);
+    let members = vec![
+        registry::leaf("sybil").expect("leaf"),
+        registry::leaf("censor").expect("leaf"),
+    ];
+    let knobs = ChainKnobs { sybil_count: 4, ..Default::default() };
+    let first = run_chain(&lab, &members, &knobs);
+    let second = run_chain(&lab, &members, &knobs);
+    assert_eq!(first, second, "chain rerun diverged");
+    assert!(
+        first.iter().any(|(label, _)| label == "blocking%"),
+        "chain rows end with the shared blocking metric: {first:?}"
+    );
+}
+
+#[test]
+#[should_panic(expected = "window_days must be at least 1 day")]
+fn zero_day_chain_window_is_rejected() {
+    let world = World::generate(WorldConfig { days: 6, scale: 0.02, seed: 23 });
+    let fleet = Fleet::alternating(4);
+    let lab = AdversaryLab::new(&world, &fleet, 0..6, 1);
+    let members = vec![registry::leaf("censor").expect("leaf")];
+    run_chain(&lab, &members, &ChainKnobs { window_days: 0, ..Default::default() });
 }
 
 #[test]
