@@ -1,0 +1,56 @@
+//! Property tests for the fault-spec grammar: parsing is total (never
+//! panics) on arbitrary byte soup, and every accepted spec renders a
+//! canonical form that reparses to the same value.
+
+use i2p_faults::FaultSpec;
+use proptest::prelude::*;
+
+/// Builds printable-ish fuzz input from raw bytes: lossy UTF-8 keeps
+/// the generator total over arbitrary byte vectors while still hitting
+/// the grammar's separators often (',' and '=' are single bytes).
+fn fuzz_string(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Ok or Err — anything but a panic.
+        let _ = FaultSpec::parse(&fuzz_string(&bytes));
+    }
+
+    #[test]
+    fn parse_never_panics_on_grammar_shaped_input(
+        key_pick in any::<u8>(),
+        val in any::<u64>(),
+        sep in any::<bool>(),
+    ) {
+        // Dense coverage of near-miss grammar: real keys with extreme
+        // values, joined by real separators.
+        let keys = ["loss", "delay", "dup", "ff_crash", "stall", "outage",
+                    "flake", "io_crash", "LOSS", "los", ""];
+        let key = keys[key_pick as usize % keys.len()];
+        let spec = if sep {
+            format!("{key}={val},{key}={val}.5")
+        } else {
+            format!("{key}={val}e308,{key}=-{val}")
+        };
+        let _ = FaultSpec::parse(&spec);
+    }
+
+    #[test]
+    fn accepted_specs_roundtrip_via_display(
+        loss_m in 0u64..=1000,
+        stall in 0u64..100,
+        io_crash in 0u32..=5,
+    ) {
+        let spec = format!("loss={},stall={stall},io_crash={io_crash}", loss_m as f64 / 1000.0);
+        let parsed = FaultSpec::parse(&spec).expect("well-formed spec parses");
+        let canon = parsed.to_string();
+        let reparsed = FaultSpec::parse(&canon)
+            .unwrap_or_else(|e| panic!("canonical form {canon:?} must reparse: {e}"));
+        prop_assert_eq!(parsed, reparsed);
+    }
+}

@@ -85,6 +85,41 @@ impl<'w> HarvestEngine<'w> {
         Self::with_vantages_model(world, vantages, days, &VisibilityModel::Uniform)
     }
 
+    /// [`HarvestEngine::build_with`] under a fault plane: after the
+    /// normal fill, every (vantage, day) the plane marks as a vantage
+    /// outage is blanked — that vantage contributes nothing that day,
+    /// yielding a partial harvest. A zero plane is exactly
+    /// [`HarvestEngine::build_with`].
+    pub fn build_faulted(
+        world: &'w World,
+        fleet: &Fleet,
+        days: Range<u64>,
+        model: &VisibilityModel,
+        plane: &i2p_faults::FaultPlane,
+    ) -> Self {
+        let mut engine = Self::build_with(world, fleet, days, model);
+        engine.apply_outages(plane);
+        engine
+    }
+
+    /// Blanks every (vantage, day) cell the plane's outage lane hits.
+    /// Keyed on the vantage salt + absolute day, so the outage schedule
+    /// is a pure function of (seed, spec, fleet) — identical across
+    /// runs and thread counts.
+    pub fn apply_outages(&mut self, plane: &i2p_faults::FaultPlane) {
+        if plane.is_zero() {
+            return;
+        }
+        let start = self.days.start;
+        for (v, vantage) in self.vantages.iter().enumerate() {
+            for di in 0..self.day_ids.len() {
+                if plane.vantage_outage(vantage.salt, start + di as u64) {
+                    self.lanes[v][self.day_off[di]..self.day_off[di + 1]].fill(0);
+                }
+            }
+        }
+    }
+
     /// [`HarvestEngine::build_with`] for an explicit vantage list.
     pub fn with_vantages_model(
         world: &'w World,

@@ -81,5 +81,5 @@ pub use engine::HarvestEngine;
 pub use fleet::{Fleet, Vantage, VantageMode};
 pub use keyspace::{KeyspaceConfig, VisibilityModel};
 pub use observed::ObservedRouterInfo;
-pub use source::SnapshotSource;
+pub use source::{Coverage, SnapshotSource};
 pub use usability::WarmSubstrate;

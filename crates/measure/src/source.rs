@@ -24,6 +24,51 @@ use crate::observed::ObservedRouterInfo;
 use i2p_geoip::GeoDb;
 use std::ops::Range;
 
+/// How completely a dataset covers its (vantage, day) grid — the
+/// degraded-mode ledger the figure renderers annotate from.
+///
+/// Derived purely from the data (a cell is *dark* when its vantage saw
+/// nothing that day), so a live engine and its replayed snapshot agree
+/// by construction, and archives need no format change to carry it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// Days the dataset spans.
+    pub days_expected: usize,
+    /// Days where every vantage reported sightings.
+    pub days_full: usize,
+    /// Days where some, but not all, vantages reported.
+    pub days_partial: usize,
+    /// Days where no vantage reported anything.
+    pub days_dark: usize,
+    /// (vantage, day) cells in the grid.
+    pub cells_expected: usize,
+    /// Cells with at least one sighting.
+    pub cells_observed: usize,
+}
+
+impl Coverage {
+    /// Whether any cell is dark — i.e. the figures run on a partial
+    /// harvest and should say so.
+    pub fn is_degraded(&self) -> bool {
+        self.cells_observed < self.cells_expected
+    }
+
+    /// The one-line annotation degraded figure renders carry.
+    pub fn annotation(&self) -> String {
+        format!(
+            "degraded harvest: days observed {}/{} (full {}, partial {}, dark {}); \
+             vantage-day cells {}/{}",
+            self.days_full + self.days_partial,
+            self.days_expected,
+            self.days_full,
+            self.days_partial,
+            self.days_dark,
+            self.cells_observed,
+            self.cells_expected,
+        )
+    }
+}
+
 /// A queryable harvested dataset: either a live [`HarvestEngine`] or a
 /// loaded snapshot.
 pub trait SnapshotSource {
@@ -60,6 +105,29 @@ pub trait SnapshotSource {
         k: usize,
         f: &mut dyn FnMut(&ObservedRouterInfo),
     );
+
+    /// The dataset's (vantage, day) coverage ledger; see [`Coverage`].
+    fn coverage(&self) -> Coverage {
+        let days = self.days();
+        let n_v = self.vantage_count();
+        let mut cov = Coverage {
+            days_expected: days.clone().count(),
+            cells_expected: days.clone().count() * n_v,
+            ..Coverage::default()
+        };
+        for day in days {
+            let observed = (0..n_v).filter(|&v| self.count_one(v, day) > 0).count();
+            cov.cells_observed += observed;
+            if observed == n_v {
+                cov.days_full += 1;
+            } else if observed > 0 {
+                cov.days_partial += 1;
+            } else {
+                cov.days_dark += 1;
+            }
+        }
+        cov
+    }
 }
 
 impl SnapshotSource for HarvestEngine<'_> {

@@ -20,6 +20,7 @@
 
 use crate::lab;
 use i2p_data::{Duration, Hash256, PeerIp};
+use i2p_faults::FaultPlane;
 use i2p_router::config::{FloodfillMode, Reachability, RouterConfig};
 use i2p_router::net::AppEvent;
 use i2p_router::router::Eepsite;
@@ -56,6 +57,9 @@ pub struct UsabilityConfig {
     pub attempt_timeout: Duration,
     /// Master seed.
     pub seed: u64,
+    /// Fault plane: message loss/delay/duplication on the fabric, plus
+    /// per-fetch vantage flakes (retried with backoff). Zero by default.
+    pub faults: FaultPlane,
 }
 
 impl Default for UsabilityConfig {
@@ -74,6 +78,7 @@ impl Default for UsabilityConfig {
             request_timeout: Duration::from_secs(60),
             attempt_timeout: Duration::from_secs(10),
             seed: 0xF1614,
+            faults: FaultPlane::zero(),
         }
     }
 }
@@ -212,6 +217,11 @@ pub fn run_one_rate(cfg: &UsabilityConfig, rate: f64, seed: u64) -> UsabilityPoi
 
 fn warm_substrate_with_seed(cfg: &UsabilityConfig, seed: u64) -> WarmSubstrate {
     let mut net = TestNet::new(seed);
+    // The fault plane sits on the fabric from the start: ambient loss,
+    // delay and duplication affect warm-up and fetches alike, and the
+    // per-message keys come from the fabric's own send counter, so the
+    // whole run replays identically.
+    net.fabric.set_faults(cfg.faults);
     // Relay substrate.
     for i in 0..cfg.relays {
         net.add_router(RouterConfig {
@@ -276,7 +286,9 @@ fn run_rate_on_net(
     net.fabric.set_blocklist(bl);
     net.fabric.set_victim(victim_ip);
     net.fabric.set_censor_mode(cfg.censor_mode);
-    let fetches = censored_fetches(&mut net, sub.server, sub.victim, &sub.dest, cfg, &mut rng);
+    let fetches = censored_fetches(
+        &mut net, sub.server, sub.victim, &sub.dest, cfg, &mut rng, rate.to_bits(),
+    );
     point_from_fetches(rate * 100.0, cfg, fetches, 1)
 }
 
@@ -299,12 +311,27 @@ pub fn run_with_blocklist(
     net.fabric.set_blocklist(bl);
     net.fabric.set_victim(victim_ip);
     net.fabric.set_censor_mode(cfg.censor_mode);
-    let fetches = censored_fetches(&mut net, sub.server, sub.victim, &sub.dest, cfg, &mut rng);
+    let fetches = censored_fetches(
+        &mut net,
+        sub.server,
+        sub.victim,
+        &sub.dest,
+        cfg,
+        &mut rng,
+        blocking_rate_pct.to_bits() ^ replicate as u64,
+    );
     point_from_fetches(blocking_rate_pct, cfg, fetches, 1)
 }
 
+/// Retries per flaked fetch before it is recorded as failed.
+const FETCH_RETRIES: u32 = 2;
+
 /// Runs the fetch loop against an already-censored network and returns
-/// the raw per-fetch outcomes.
+/// the raw per-fetch outcomes. `flake_key` identifies the scenario in
+/// the fault plane's fetch-flake lane: flaked attempts retry with
+/// exponential (simulated-time) backoff, keyed purely on
+/// (scenario, fetch, attempt) so replicas and thread counts cannot
+/// perturb the draw.
 fn censored_fetches(
     net: &mut TestNet,
     server: usize,
@@ -312,13 +339,14 @@ fn censored_fetches(
     dest: &Hash256,
     cfg: &UsabilityConfig,
     rng: &mut i2p_crypto::DetRng,
+    flake_key: u64,
 ) -> Vec<Option<f64>> {
     // Server keeps healthy tunnels + a published LeaseSet (the server
     // sits outside the censored uplink).
     maintain_server(net, server, rng);
 
     let mut fetches = Vec::with_capacity(cfg.fetches_per_rate);
-    for _ in 0..cfg.fetches_per_rate {
+    for fetch_i in 0..cfg.fetches_per_rate {
         maintain_server(net, server, rng);
         // Each crawl is an independent page load: the paper's crawls are
         // spaced beyond I2P's 10-minute tunnel rotation, so no client
@@ -329,7 +357,19 @@ fn censored_fetches(
         // blocking rates measure exactly like the unblocked baseline.
         net.router_mut(victim).inbound.drop_all();
         net.router_mut(victim).outbound.drop_all();
-        let t = fetch_once(net, victim, dest, cfg, rng);
+        let mut attempt = 0u32;
+        let t = loop {
+            if cfg.faults.fetch_flake(flake_key, fetch_i as u64, attempt) {
+                if attempt >= FETCH_RETRIES {
+                    break None; // retry budget spent: the crawl failed
+                }
+                // Backoff before the retry, in simulated time only.
+                net.run_for(Duration::from_secs(1 << attempt));
+                attempt += 1;
+                continue;
+            }
+            break fetch_once(net, victim, dest, cfg, rng);
+        };
         fetches.push(t);
         // Think time between page loads.
         let gap = net.now() + Duration::from_secs(5);

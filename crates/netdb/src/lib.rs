@@ -25,7 +25,7 @@ pub mod routing_key;
 pub mod store;
 
 pub use kbucket::KBucketTable;
-pub use lookup::IterativeLookup;
+pub use lookup::{IterativeLookup, LookupConfig};
 pub use messages::{DatabaseLookup, DatabaseStore, LookupKind, NetDbPayload, SearchReply};
 pub use routing_key::RoutingKey;
 pub use store::{NetDbStore, StoreConfig, StoredEntry};

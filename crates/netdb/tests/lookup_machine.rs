@@ -7,10 +7,11 @@
 //! exhausted), never query the same peer twice, keep `queried_count`
 //! monotone, and never exceed one query per existing peer.
 
-use i2p_data::{Hash256, SimTime};
-use i2p_netdb::lookup::{IterativeLookup, ALPHA};
+use i2p_data::{Duration, Hash256, SimTime};
+use i2p_faults::{FaultPlane, FaultSpec};
+use i2p_netdb::lookup::{IterativeLookup, LookupConfig, ALPHA};
 use proptest::prelude::*;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 fn h(seed: u64, i: usize) -> Hash256 {
     let mut m = [0u8; 16];
@@ -27,6 +28,96 @@ fn replies_of(seed: u64, i: usize, n: usize, fanout: usize) -> Vec<Hash256> {
     let bytes = h(seed ^ 0x5E7, i).0;
     let len = bytes[0] as usize % (fanout + 1);
     (0..len).map(|j| h(seed, bytes[j % 32] as usize % n)).collect()
+}
+
+/// What a timed, fault-injected walk did, for invariant checks.
+struct WalkOutcome {
+    found: bool,
+    exhausted: bool,
+    /// Distinct peers queried.
+    distinct: u64,
+    /// Total queries sent, counting retries.
+    queries: u64,
+    /// Re-queries issued after timeouts.
+    retries: u64,
+    /// Most attempts any single peer received.
+    per_peer_max: u32,
+}
+
+/// Drives a timed walk to completion against responders subject to the
+/// fault plane: crashed responders stay silent forever; stalled ones
+/// reply only after the first-attempt deadline has already expired. The
+/// clock jumps to the next reply or timeout, whichever is sooner.
+fn drive_faulted_walk(
+    seed: u64,
+    n: usize,
+    initial_k: usize,
+    fanout: usize,
+    holder_share: u8,
+    plane: &FaultPlane,
+    day: u64,
+) -> WalkOutcome {
+    let cfg = LookupConfig::default();
+    let peers: Vec<Hash256> = (0..n).map(|i| h(seed, i)).collect();
+    let holders: HashSet<Hash256> = peers
+        .iter()
+        .filter(|p| p.0[1] < holder_share)
+        .copied()
+        .collect();
+    let target = h(seed ^ 0xFACE, 0);
+    let initial: Vec<Hash256> = peers.iter().take(initial_k.max(1)).copied().collect();
+    let start = SimTime::from_day_ms(day, 0);
+    let mut walk = IterativeLookup::with_config(target, initial, start, cfg);
+    let mut now = start;
+    let mut inbox: Vec<(SimTime, Hash256)> = Vec::new();
+    let mut per_peer: HashMap<Hash256, u32> = HashMap::new();
+    let mut steps = 0usize;
+    loop {
+        steps += 1;
+        assert!(steps <= 100_000, "test driver livelocked");
+        while let Some(pos) = inbox.iter().position(|(t, _)| *t <= now) {
+            let (_, peer) = inbox.remove(pos);
+            walk.on_reply(&peer);
+            if holders.contains(&peer) {
+                walk.on_found();
+            } else {
+                let i = peers.iter().position(|p| *p == peer).expect("known peer");
+                walk.on_closer(&replies_of(seed, i, n, fanout));
+            }
+        }
+        walk.expire_timeouts(now);
+        for q in walk.next_queries_at(now) {
+            *per_peer.entry(q).or_insert(0) += 1;
+            if plane.responder_crashes(&q, day) {
+                continue; // crashed: no reply, ever — only the timeout saves us
+            }
+            let latency = if plane.responder_stalls(&q, day) {
+                // Stalled: the reply lands well past the first deadline.
+                Duration::from_millis(cfg.query_timeout.as_millis() * 3)
+            } else {
+                Duration::from_millis(150)
+            };
+            inbox.push((now + latency, q));
+        }
+        if walk.is_found() || (!walk.has_pending() && inbox.is_empty()) {
+            break;
+        }
+        let next = inbox
+            .iter()
+            .map(|(t, _)| *t)
+            .chain(walk.next_deadline())
+            .min()
+            .expect("pending work implies a next instant");
+        now = if next > now { next } else { now + Duration::from_millis(1) };
+    }
+    WalkOutcome {
+        found: walk.is_found(),
+        exhausted: walk.is_exhausted(),
+        distinct: walk.queried_count() as u64,
+        queries: walk.query_count(),
+        retries: walk.retry_count(),
+        per_peer_max: per_peer.values().copied().max().unwrap_or(0),
+    }
 }
 
 proptest! {
@@ -121,4 +212,67 @@ proptest! {
         prop_assert!(walk.is_exhausted());
         prop_assert!(!walk.is_found());
     }
+
+    #[test]
+    fn faulted_walk_terminates_within_the_retry_budget(
+        seed in any::<u64>(),
+        n in 1usize..50,
+        initial_k in 1usize..8,
+        fanout in 0usize..10,
+        holder_share in 0u8..40,
+        crash_m in 0u32..=1000,
+        stall in 0u64..6,
+        day in 0u64..400,
+    ) {
+        let spec = FaultSpec::parse(
+            &format!("ff_crash={},stall={stall}", crash_m as f64 / 1000.0),
+        ).expect("well-formed spec");
+        let plane = FaultPlane::new(spec, seed ^ 0xC4A5);
+        let out = drive_faulted_walk(seed, n, initial_k, fanout, holder_share, &plane, day);
+        let budget = 1 + LookupConfig::default().max_retries;
+        // Even with every responder crashed, the walk terminates —
+        // found or exhausted, never hung.
+        prop_assert!(out.found || out.exhausted);
+        // Per-peer and total query counts respect the retry budget.
+        prop_assert!(out.per_peer_max <= budget,
+            "peer queried {} times, budget {budget}", out.per_peer_max);
+        prop_assert!(out.queries <= n as u64 * budget as u64);
+        // Accounting closes: every query is a first attempt or a retry.
+        prop_assert_eq!(out.queries, out.distinct + out.retries);
+    }
+}
+
+#[test]
+fn retry_count_is_monotone_in_the_crash_rate() {
+    // Fixed graph where the queried set cannot depend on the fault
+    // rate: every peer is an initial candidate, nobody holds the
+    // record, and misses return no hints (fanout 0). Then retries come
+    // only from crashed responders — and because the plane's crash
+    // sets nest as the rate grows, the retry count must be monotone.
+    let seed = 0xD15E_A5E0u64;
+    let n = 40;
+    let day = 3;
+    let budget = LookupConfig::default().max_retries as u64;
+    let mut prev = 0u64;
+    for rate_pct in [0u32, 5, 15, 30, 50, 75, 100] {
+        let spec = FaultSpec::parse(&format!("ff_crash={}", rate_pct as f64 / 100.0))
+            .expect("well-formed spec");
+        let plane = FaultPlane::new(spec, 99);
+        let out = drive_faulted_walk(seed, n, n, 0, 0, &plane, day);
+        assert!(!out.found);
+        assert!(out.exhausted);
+        assert_eq!(out.distinct, n as u64, "queried set is rate-independent");
+        // Exactly max_retries re-queries per crashed responder.
+        let crashed = (0..n)
+            .filter(|&i| plane.responder_crashes(&h(seed, i), day))
+            .count() as u64;
+        assert_eq!(out.retries, crashed * budget);
+        assert!(
+            out.retries >= prev,
+            "retries fell from {prev} to {} at rate {rate_pct}%",
+            out.retries
+        );
+        prev = out.retries;
+    }
+    assert_eq!(prev, n as u64 * budget, "rate 1.0 crashes everyone");
 }

@@ -482,7 +482,21 @@ impl TestNet {
                 }));
                 false
             }
-            DeliveryOutcome::NullRouted | DeliveryOutcome::NoListener => false,
+            DeliveryOutcome::Duplicated { at, again, .. } => {
+                // Fault-plane duplication: the destination handles the
+                // message twice, exercising idempotence of the handlers.
+                self.seq += 1;
+                self.queue
+                    .push(Reverse(QueuedEvent { at, seq: self.seq, to: to_idx, msg: msg.clone() }));
+                self.seq += 1;
+                self.queue.push(Reverse(QueuedEvent { at: again, seq: self.seq, to: to_idx, msg }));
+                true
+            }
+            // Lost is the fault plane's silent drop; like null routing,
+            // the sender gets no signal.
+            DeliveryOutcome::NullRouted | DeliveryOutcome::NoListener | DeliveryOutcome::Lost => {
+                false
+            }
         }
     }
 

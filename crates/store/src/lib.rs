@@ -34,6 +34,7 @@ mod wire;
 use i2p_data::codec::DecodeError;
 
 pub use snapshot::{Snapshot, SnapshotMeta};
+pub use wire::RecoveryReport;
 
 /// Errors produced while saving, loading or verifying a snapshot.
 #[derive(Debug)]
@@ -53,6 +54,13 @@ pub enum StoreError {
         /// The version found in the header.
         found: u16,
     },
+    /// The fault plane fired an injected IO crash-point mid-write
+    /// (`io_crash=N`): the writer "died" here, leaving whatever a real
+    /// crash at this point would leave on disk.
+    InjectedCrash {
+        /// Which crash-point fired (see `Snapshot::write_to_with`).
+        point: u32,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -64,6 +72,9 @@ impl std::fmt::Display for StoreError {
             StoreError::UnsupportedVersion { found } => {
                 write!(f, "unsupported snapshot version {found} (this build reads v{})",
                     format::VERSION)
+            }
+            StoreError::InjectedCrash { point } => {
+                write!(f, "injected IO crash at write point {point}")
             }
         }
     }

@@ -1,8 +1,9 @@
 //! The in-memory snapshot model: capture from a live engine, replay
 //! through [`SnapshotSource`].
 
-use crate::StoreError;
+use crate::{RecoveryReport, StoreError};
 use i2p_crypto::DetRng;
+use i2p_faults::FaultPlane;
 use i2p_data::addr::{Introducer, RouterAddress, TransportStyle};
 use i2p_data::{Caps, FxHashMap, Hash256, PeerIp, RouterIdentity, RouterInfo, SimTime};
 use i2p_geoip::GeoDb;
@@ -142,15 +143,107 @@ impl Snapshot {
         crate::wire::decode(bytes)
     }
 
-    /// Writes the snapshot to `path`.
+    /// Writes the snapshot to `path` atomically: the destination either
+    /// keeps its previous content or holds the complete new snapshot,
+    /// never a torn intermediate — even if the writer dies mid-write.
     pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
-        std::fs::write(path, self.to_bytes())?;
+        self.write_to_with(path, &FaultPlane::zero())
+    }
+
+    /// [`Snapshot::write_to`] with injectable IO crash-points
+    /// (`io_crash=N` in a fault spec). The write sequence and its
+    /// crash-points:
+    ///
+    /// 1. temp file created (crash leaves an empty `.tmp` sibling);
+    /// 2. half the bytes written;
+    /// 3. all bytes written, before fsync;
+    /// 4. after fsync and read-back verification, before the rename;
+    /// 5. after the rename (publication already durable).
+    ///
+    /// At points 1–4 the destination is untouched; the only debris is
+    /// the `.tmp` sibling, which the next successful write overwrites.
+    /// The read-back before the rename is the checksum-before-publish
+    /// gate: a temp file that does not verify is never renamed in.
+    pub fn write_to_with(
+        &self,
+        path: impl AsRef<Path>,
+        faults: &FaultPlane,
+    ) -> Result<(), StoreError> {
+        use std::io::Write as _;
+        let path = path.as_ref();
+        let bytes = self.to_bytes();
+        let tmp = tmp_path(path);
+        let crash = |point: u32| -> Result<(), StoreError> {
+            if faults.io_crash_at(point) {
+                Err(StoreError::InjectedCrash { point })
+            } else {
+                Ok(())
+            }
+        };
+        let mut f = std::fs::File::create(&tmp)?;
+        crash(1)?;
+        let half = bytes.len() / 2;
+        f.write_all(&bytes[..half])?;
+        crash(2)?;
+        f.write_all(&bytes[half..])?;
+        crash(3)?;
+        f.sync_all()?;
+        drop(f);
+        if std::fs::read(&tmp)? != bytes {
+            return Err(StoreError::Corrupt { what: "temp file readback" });
+        }
+        crash(4)?;
+        std::fs::rename(&tmp, path)?;
+        crash(5)?;
+        // Make the rename itself durable (best effort — not every
+        // platform lets a directory be opened and synced).
+        if let Some(parent) = path.parent() {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
         Ok(())
     }
 
     /// Reads and validates a snapshot from `path`.
     pub fn read_from(path: impl AsRef<Path>) -> Result<Snapshot, StoreError> {
         Snapshot::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// The recovering load: keeps the valid contiguous-day prefix of a
+    /// damaged file and quarantines everything after the first corrupt
+    /// or truncated element. Intact files load exactly as
+    /// [`Snapshot::from_bytes`] would. Only prelude damage (magic,
+    /// version, header) is unrecoverable.
+    pub fn from_bytes_recover(bytes: &[u8]) -> Result<(Snapshot, RecoveryReport), StoreError> {
+        crate::wire::decode_recover(bytes)
+    }
+
+    /// [`Snapshot::from_bytes_recover`] from a file.
+    pub fn read_recover(path: impl AsRef<Path>) -> Result<(Snapshot, RecoveryReport), StoreError> {
+        Snapshot::from_bytes_recover(&std::fs::read(path)?)
+    }
+
+    /// Appends `tail`'s days to this snapshot — the resume path's merge
+    /// step. The tail must come from the identical world and fleet and
+    /// start exactly where this snapshot ends.
+    pub fn extend(&mut self, tail: Snapshot) -> Result<(), StoreError> {
+        let m = &self.meta;
+        let t = &tail.meta;
+        if m.world_days != t.world_days
+            || m.world_scale.to_bits() != t.world_scale.to_bits()
+            || m.world_seed != t.world_seed
+            || m.total_peers != t.total_peers
+            || m.vantages != t.vantages
+        {
+            return Err(StoreError::Corrupt { what: "extend: mismatched worlds" });
+        }
+        if t.day_start != m.day_start + m.n_days as u64 {
+            return Err(StoreError::Corrupt { what: "extend: day gap" });
+        }
+        self.meta.n_days += t.n_days;
+        self.days.extend(tail.days);
+        Ok(())
     }
 
     /// Decodes and signature-verifies **every** archived RouterInfo wire
@@ -325,6 +418,13 @@ fn archive_router_info(
     )
 }
 
+/// The sibling temp path the atomic writer stages into.
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    std::path::PathBuf::from(os)
+}
+
 /// Encodes a vantage mode as a wire byte.
 pub(crate) fn mode_tag(mode: VantageMode) -> u8 {
     match mode {
@@ -469,6 +569,146 @@ mod tests {
         let n = snap.verify_router_infos().expect("verification");
         assert_eq!(n, snap.total_rows());
         assert!(n > 0);
+    }
+
+    /// A scratch path in the system temp dir, cleaned up on drop.
+    struct Scratch(std::path::PathBuf);
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            let p = std::env::temp_dir()
+                .join(format!("i2ps-test-{}-{tag}.i2ps", std::process::id()));
+            let _ = std::fs::remove_file(&p);
+            let _ = std::fs::remove_file(tmp_path(&p));
+            Scratch(p)
+        }
+    }
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+            let _ = std::fs::remove_file(tmp_path(&self.0));
+        }
+    }
+
+    #[test]
+    fn writer_killed_at_each_crash_point_never_tears_the_destination() {
+        use i2p_faults::FaultSpec;
+        let (world, fleet) = tiny();
+        let old = Snapshot::capture(&HarvestEngine::build(&world, &fleet, 0..2));
+        let new = Snapshot::capture(&HarvestEngine::build(&world, &fleet, 0..4));
+        let scratch = Scratch::new("crash-points");
+        let path = &scratch.0;
+        old.write_to(path).expect("seed write");
+        let old_bytes = std::fs::read(path).expect("previous content");
+        for point in 1..=4u32 {
+            let spec = FaultSpec::parse(&format!("io_crash={point}")).unwrap();
+            let plane = FaultPlane::new(spec, 1);
+            match new.write_to_with(path, &plane) {
+                Err(StoreError::InjectedCrash { point: p }) => assert_eq!(p, point),
+                other => panic!("crash point {point} did not fire: {other:?}"),
+            }
+            // The destination still holds the previous snapshot, byte
+            // for byte — a crashed writer never tears it.
+            assert_eq!(
+                std::fs::read(path).expect("destination"),
+                old_bytes,
+                "crash at point {point} damaged the destination"
+            );
+            Snapshot::read_from(path).expect("destination still loads");
+        }
+        // Point 5 crashes *after* the rename: the new content is
+        // already published and intact.
+        let plane = FaultPlane::new(FaultSpec::parse("io_crash=5").unwrap(), 1);
+        match new.write_to_with(path, &plane) {
+            Err(StoreError::InjectedCrash { point: 5 }) => {}
+            other => panic!("crash point 5 did not fire: {other:?}"),
+        }
+        assert_eq!(std::fs::read(path).expect("destination"), new.to_bytes());
+        // And a clean retry after any crash completes normally.
+        new.write_to(path).expect("retry succeeds");
+        assert_eq!(Snapshot::read_from(path).expect("reload").total_rows(), new.total_rows());
+    }
+
+    #[test]
+    fn recovery_keeps_the_valid_prefix_and_quarantines_the_rest() {
+        let (world, fleet) = tiny();
+        let engine = HarvestEngine::build(&world, &fleet, 0..4);
+        let snap = Snapshot::capture(&engine);
+        let bytes = snap.to_bytes();
+
+        // Intact bytes load with an intact report and full day count.
+        let (whole, report) = Snapshot::from_bytes_recover(&bytes).expect("intact");
+        assert!(report.is_intact());
+        assert_eq!(report.recovered_days, 4);
+        assert_eq!(report.quarantined_bytes, 0);
+        assert_eq!(whole.to_bytes(), bytes, "intact recovery is lossless");
+
+        // Truncations anywhere past the header recover a (possibly
+        // empty) contiguous prefix; the strict loader refuses them all.
+        for cut in [bytes.len() - 1, bytes.len() - 10, bytes.len() / 2, bytes.len() / 4] {
+            let cut_bytes = &bytes[..cut];
+            assert!(Snapshot::from_bytes(cut_bytes).is_err(), "strict must refuse cut {cut}");
+            let (part, report) = Snapshot::from_bytes_recover(cut_bytes)
+                .unwrap_or_else(|e| panic!("cut {cut} unrecoverable: {e}"));
+            assert!(!report.is_intact());
+            // Cutting only the trailer loses no day; cutting into the
+            // segment stream loses the damaged tail.
+            if cut < bytes.len() - 9 {
+                assert!(report.recovered_days < 4, "cut {cut}");
+            } else {
+                assert_eq!(report.recovered_days, 4, "cut {cut}");
+            }
+            assert_eq!(part.meta().n_days, report.recovered_days);
+            // The recovered prefix replays identically to the original.
+            for day in 0..report.recovered_days as u64 {
+                assert_eq!(part.coverage_curve(day), snap.coverage_curve(day), "cut {cut}");
+            }
+            part.verify_router_infos().expect("recovered records verify");
+        }
+
+        // A flipped byte in the last quarter corrupts a late segment:
+        // the early days survive, the tail is quarantined.
+        let mut bad = bytes.clone();
+        let pos = bytes.len() - bytes.len() / 8;
+        bad[pos] ^= 0x01;
+        assert!(Snapshot::from_bytes(&bad).is_err());
+        let (_part, report) = Snapshot::from_bytes_recover(&bad).expect("recoverable");
+        assert!(!report.is_intact());
+        assert!(report.quarantined_bytes > 0);
+        assert!(report.recovered_days < 4);
+
+        // Prelude damage is unrecoverable by design.
+        let mut no_magic = bytes.clone();
+        no_magic[0] ^= 0xFF;
+        assert!(Snapshot::from_bytes_recover(&no_magic).is_err());
+    }
+
+    #[test]
+    fn extend_merges_a_contiguous_tail_and_refuses_everything_else() {
+        let (world, fleet) = tiny();
+        let whole = Snapshot::capture(&HarvestEngine::build(&world, &fleet, 0..4));
+        let head_engine = HarvestEngine::build(&world, &fleet, 0..2);
+        let tail_engine = HarvestEngine::build(&world, &fleet, 2..4);
+        let mut head = Snapshot::capture(&head_engine);
+        let tail = Snapshot::capture(&tail_engine);
+        head.extend(tail).expect("contiguous tail merges");
+        // Per-peer archive identities are deterministic, so the merged
+        // snapshot is byte-identical to a one-shot capture.
+        assert_eq!(head.to_bytes(), whole.to_bytes());
+
+        // A gapped tail is refused.
+        let mut head2 = Snapshot::capture(&head_engine);
+        let gapped = Snapshot::capture(&HarvestEngine::build(&world, &fleet, 3..4));
+        assert!(matches!(
+            head2.extend(gapped),
+            Err(StoreError::Corrupt { what: "extend: day gap" })
+        ));
+        // A tail from a different world is refused.
+        let other = World::generate(WorldConfig { days: 4, scale: 0.01, seed: 100 });
+        let alien = Snapshot::capture(&HarvestEngine::build(&other, &fleet, 2..4));
+        assert!(matches!(
+            head2.extend(alien),
+            Err(StoreError::Corrupt { what: "extend: mismatched worlds" })
+        ));
     }
 
     #[test]

@@ -119,8 +119,84 @@ fn encode_ip(w: &mut Writer, ip: PeerIp) {
     }
 }
 
-pub(crate) fn decode(bytes: &[u8]) -> Result<Snapshot, StoreError> {
-    let mut r = Reader::new(bytes);
+/// What happened while loading a damaged snapshot through the
+/// recovering decoder ([`crate::Snapshot::from_bytes_recover`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Days the header promised.
+    pub expected_days: u32,
+    /// Days actually recovered (a contiguous prefix).
+    pub recovered_days: u32,
+    /// Bytes quarantined after the first damaged element.
+    pub quarantined_bytes: usize,
+    /// What stopped the strict walk, or `None` for an intact file.
+    pub damage: Option<&'static str>,
+}
+
+impl RecoveryReport {
+    /// Whether the file loaded with no damage at all.
+    pub fn is_intact(&self) -> bool {
+        self.damage.is_none()
+    }
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.damage {
+            None => write!(f, "intact ({} days)", self.recovered_days),
+            Some(what) => write!(
+                f,
+                "recovered {}/{} days, quarantined {} bytes ({what})",
+                self.recovered_days, self.expected_days, self.quarantined_bytes
+            ),
+        }
+    }
+}
+
+/// One top-level file element.
+enum Element {
+    Segment(DaySegment),
+    Trailer,
+}
+
+/// Reads one tagged element — a checksummed day segment or the trailer
+/// (which also closes the file: whole-file checksum, no trailing bytes).
+fn read_element(
+    r: &mut Reader<'_>,
+    bytes: &[u8],
+    n_vantages: usize,
+) -> Result<Element, StoreError> {
+    match r.u8("snapshot.tag")? {
+        SEGMENT_TAG => {
+            let body_len = r.u32("snapshot.segment-len")? as usize;
+            let body = r.bytes(body_len, "snapshot.segment")?;
+            if r.bytes(CHECKSUM_LEN, "snapshot.segment-checksum")? != checksum(body).as_slice() {
+                return Err(StoreError::Corrupt { what: "segment checksum" });
+            }
+            Ok(Element::Segment(decode_segment(body, n_vantages)?))
+        }
+        TRAILER_TAG => {
+            // Position bookkeeping: the checksum covers everything
+            // before the trailer tag.
+            let covered = bytes.len() - r.remaining() - 1;
+            if r.bytes(CHECKSUM_LEN, "snapshot.trailer-checksum")?
+                != checksum(&bytes[..covered]).as_slice()
+            {
+                return Err(StoreError::Corrupt { what: "file checksum" });
+            }
+            if !r.is_empty() {
+                return Err(StoreError::Corrupt { what: "trailing bytes" });
+            }
+            Ok(Element::Trailer)
+        }
+        _ => Err(StoreError::Corrupt { what: "unknown tag" }),
+    }
+}
+
+/// Reads the mandatory prelude: magic, version, checksummed header.
+/// Damage here is unrecoverable — without the header there is no world
+/// or fleet identity to recover a prefix against.
+fn decode_prelude<'a>(r: &mut Reader<'a>) -> Result<SnapshotMeta, StoreError> {
     if r.bytes(MAGIC.len(), "snapshot.magic")? != MAGIC.as_slice() {
         return Err(StoreError::Corrupt { what: "magic" });
     }
@@ -133,7 +209,12 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<Snapshot, StoreError> {
     if r.bytes(CHECKSUM_LEN, "snapshot.header-checksum")? != checksum(header).as_slice() {
         return Err(StoreError::Corrupt { what: "header checksum" });
     }
-    let meta = decode_header(header)?;
+    decode_header(header)
+}
+
+pub(crate) fn decode(bytes: &[u8]) -> Result<Snapshot, StoreError> {
+    let mut r = Reader::new(bytes);
+    let meta = decode_prelude(&mut r)?;
 
     if meta.n_days as usize > r.remaining() {
         // Every day segment costs well over one byte (tag + length +
@@ -142,32 +223,8 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<Snapshot, StoreError> {
         return Err(StoreError::Corrupt { what: "day count" });
     }
     let mut days = Vec::with_capacity(meta.n_days as usize);
-    loop {
-        match r.u8("snapshot.tag")? {
-            SEGMENT_TAG => {
-                let body_len = r.u32("snapshot.segment-len")? as usize;
-                // Position bookkeeping for the trailer check below.
-                let body = r.bytes(body_len, "snapshot.segment")?;
-                if r.bytes(CHECKSUM_LEN, "snapshot.segment-checksum")? != checksum(body).as_slice()
-                {
-                    return Err(StoreError::Corrupt { what: "segment checksum" });
-                }
-                days.push(decode_segment(body, meta.vantages.len())?);
-            }
-            TRAILER_TAG => {
-                let covered = bytes.len() - r.remaining() - 1;
-                if r.bytes(CHECKSUM_LEN, "snapshot.trailer-checksum")?
-                    != checksum(&bytes[..covered]).as_slice()
-                {
-                    return Err(StoreError::Corrupt { what: "file checksum" });
-                }
-                if !r.is_empty() {
-                    return Err(StoreError::Corrupt { what: "trailing bytes" });
-                }
-                break;
-            }
-            _ => return Err(StoreError::Corrupt { what: "unknown tag" }),
-        }
+    while let Element::Segment(seg) = read_element(&mut r, bytes, meta.vantages.len())? {
+        days.push(seg);
     }
     if days.len() != meta.n_days as usize {
         return Err(StoreError::Corrupt { what: "day count" });
@@ -179,6 +236,61 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<Snapshot, StoreError> {
         }
     }
     Ok(Snapshot::from_parts(meta, days))
+}
+
+/// The recovering decoder: strict about the prelude, then keeps every
+/// valid, contiguous day segment up to the first damaged element and
+/// quarantines the rest of the file. An undamaged file loads exactly as
+/// [`decode`] would, with an intact report.
+pub(crate) fn decode_recover(bytes: &[u8]) -> Result<(Snapshot, RecoveryReport), StoreError> {
+    let mut r = Reader::new(bytes);
+    let mut meta = decode_prelude(&mut r)?;
+    let expected = meta.n_days;
+
+    let mut days: Vec<DaySegment> = Vec::new();
+    let mut damage: Option<&'static str> = None;
+    let mut quarantined = 0usize;
+    loop {
+        let consumed = bytes.len() - r.remaining();
+        match read_element(&mut r, bytes, meta.vantages.len()) {
+            Ok(Element::Trailer) => {
+                if days.len() != expected as usize {
+                    damage = Some("day count");
+                }
+                break;
+            }
+            Ok(Element::Segment(seg)) => {
+                let in_sequence = seg.day == meta.day_start + days.len() as u64;
+                if days.len() == expected as usize || !in_sequence {
+                    damage = Some(if in_sequence { "day count" } else { "day sequence" });
+                    quarantined = bytes.len() - consumed;
+                    break;
+                }
+                days.push(seg);
+            }
+            Err(e) => {
+                damage = Some(damage_label(&e));
+                quarantined = bytes.len() - consumed;
+                break;
+            }
+        }
+    }
+    let report = RecoveryReport {
+        expected_days: expected,
+        recovered_days: days.len() as u32,
+        quarantined_bytes: quarantined,
+        damage,
+    };
+    meta.n_days = days.len() as u32;
+    Ok((Snapshot::from_parts(meta, days), report))
+}
+
+fn damage_label(e: &StoreError) -> &'static str {
+    match e {
+        StoreError::Corrupt { what } => what,
+        StoreError::Decode(_) => "truncated element",
+        _ => "damaged element",
+    }
 }
 
 fn decode_header(bytes: &[u8]) -> Result<SnapshotMeta, StoreError> {

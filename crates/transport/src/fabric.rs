@@ -20,6 +20,12 @@
 
 use crate::blocklist::BlockList;
 use i2p_data::{Duration, FxHashMap, Hash256, PeerIp, SimTime};
+use i2p_faults::FaultPlane;
+
+/// Extra one-way latency added to a fault-delayed message.
+const FAULT_EXTRA_DELAY: Duration = Duration::from_millis(750);
+/// Gap between the two copies of a fault-duplicated message.
+const FAULT_DUP_GAP: Duration = Duration::from_millis(250);
 
 /// A network endpoint: IP and port.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -77,6 +83,19 @@ pub enum DeliveryOutcome {
     },
     /// Nothing listens on the destination endpoint (peer gone/behind NAT).
     NoListener,
+    /// Dropped by the fault plane (random loss, not censorship) — like
+    /// [`DeliveryOutcome::NullRouted`], the sender gets no signal.
+    Lost,
+    /// Duplicated by the fault plane: the destination router receives
+    /// the message twice (retransmission-style duplication).
+    Duplicated {
+        /// Arrival time of the first copy.
+        at: SimTime,
+        /// Arrival time of the second copy.
+        again: SimTime,
+        /// The router listening on the destination endpoint.
+        to: Hash256,
+    },
 }
 
 /// Traffic counters.
@@ -92,6 +111,12 @@ pub struct FabricStats {
     pub reset: u64,
     /// Messages to unregistered endpoints.
     pub no_listener: u64,
+    /// Messages dropped by the fault plane.
+    pub lost: u64,
+    /// Messages delayed by the fault plane.
+    pub delayed: u64,
+    /// Messages duplicated by the fault plane.
+    pub duplicated: u64,
 }
 
 /// The simulated IP substrate.
@@ -110,6 +135,11 @@ pub struct Fabric {
     censor_mode: CensorMode,
     profile: Option<LinkProfile>,
     stats: FabricStats,
+    faults: FaultPlane,
+    /// Monotone send counter: the per-message key for fault draws, so
+    /// the same message sequence sees the same faults regardless of
+    /// wall-clock or thread interleaving.
+    sends: u64,
 }
 
 impl Fabric {
@@ -133,6 +163,18 @@ impl Fabric {
     /// Removes the blocklist.
     pub fn clear_blocklist(&mut self) {
         self.blocklist = None;
+    }
+
+    /// Installs a fault plane. Messages traversing the fabric are then
+    /// subject to deterministic probabilistic loss/delay/duplication,
+    /// keyed on the fabric's monotone send counter.
+    pub fn set_faults(&mut self, plane: FaultPlane) {
+        self.faults = plane;
+    }
+
+    /// The installed fault plane (zero unless [`Fabric::set_faults`] ran).
+    pub fn faults(&self) -> FaultPlane {
+        self.faults
     }
 
     /// Selects how the chokepoint disposes of blocked traffic.
@@ -189,6 +231,8 @@ impl Fabric {
     /// blocked IP would be dropped.
     pub fn send(&mut self, from_ip: PeerIp, to: Endpoint, size: usize, now: SimTime) -> DeliveryOutcome {
         let day = now.day();
+        let msg_key = self.sends;
+        self.sends += 1;
         if let Some(bl) = &self.blocklist {
             let at_chokepoint = match self.victim {
                 // Censor at the victim's upstream: only the victim's own
@@ -214,11 +258,30 @@ impl Fabric {
                 };
             }
         }
+        // Ambient network pathology: loss strikes the open path after
+        // the censor's chokepoint (a censored message is already gone).
+        if self.faults.drop_message(msg_key) {
+            self.stats.lost += 1;
+            return DeliveryOutcome::Lost;
+        }
         match self.listeners.get(&to) {
             Some(router) => {
                 self.stats.delivered += 1;
                 self.stats.delivered_bytes += size as u64;
-                DeliveryOutcome::Delivered { at: now + self.latency(from_ip, to.ip), to: *router }
+                let mut at = now + self.latency(from_ip, to.ip);
+                if self.faults.delay_message(msg_key) {
+                    self.stats.delayed += 1;
+                    at = at + FAULT_EXTRA_DELAY;
+                }
+                if self.faults.duplicate_message(msg_key) {
+                    self.stats.duplicated += 1;
+                    return DeliveryOutcome::Duplicated {
+                        at,
+                        again: at + FAULT_DUP_GAP,
+                        to: *router,
+                    };
+                }
+                DeliveryOutcome::Delivered { at, to: *router }
             }
             None => {
                 self.stats.no_listener += 1;
@@ -334,6 +397,70 @@ mod tests {
         assert_eq!(f.latency(a, b), f.latency(b, a));
         // Different pairs usually differ.
         assert_ne!(f.latency(a, b), f.latency(a, PeerIp::V4(21)));
+    }
+
+    #[test]
+    fn zero_fault_plane_changes_nothing() {
+        let mk = || {
+            let mut f = Fabric::new();
+            f.register(ep(2), Hash256::digest(b"bob"));
+            f
+        };
+        let mut plain = mk();
+        let mut faulted = mk();
+        faulted.set_faults(FaultPlane::zero());
+        for i in 0..50u32 {
+            let t = SimTime(i as u64 * 1000);
+            assert_eq!(
+                plain.send(PeerIp::V4(1), ep(2), 64, t),
+                faulted.send(PeerIp::V4(1), ep(2), 64, t),
+            );
+        }
+        assert_eq!(plain.stats(), faulted.stats());
+    }
+
+    #[test]
+    fn fault_loss_is_deterministic_and_silent() {
+        use i2p_faults::FaultSpec;
+        let spec = FaultSpec::parse("loss=0.3").unwrap();
+        let run = || {
+            let mut f = Fabric::new();
+            f.register(ep(2), Hash256::digest(b"bob"));
+            f.set_faults(FaultPlane::new(spec, 7));
+            (0..200u64)
+                .map(|i| f.send(PeerIp::V4(1), ep(2), 64, SimTime(i * 100)))
+                .collect::<Vec<_>>()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "same seed + spec must replay identically");
+        let lost = a.iter().filter(|o| matches!(o, DeliveryOutcome::Lost)).count();
+        assert!(lost > 20 && lost < 120, "loss=0.3 over 200 sends, got {lost}");
+    }
+
+    #[test]
+    fn fault_delay_and_duplication_shape_delivery() {
+        use i2p_faults::FaultSpec;
+        let mut base = Fabric::new();
+        let mut f = Fabric::new();
+        let bob = Hash256::digest(b"bob");
+        base.register(ep(2), bob);
+        f.register(ep(2), bob);
+        f.set_faults(FaultPlane::new(FaultSpec::parse("delay=1,dup=1").unwrap(), 7));
+        let now = SimTime(0);
+        let plain_at = match base.send(PeerIp::V4(1), ep(2), 64, now) {
+            DeliveryOutcome::Delivered { at, .. } => at,
+            other => panic!("unexpected {other:?}"),
+        };
+        match f.send(PeerIp::V4(1), ep(2), 64, now) {
+            DeliveryOutcome::Duplicated { at, again, to } => {
+                assert_eq!(to, bob);
+                assert_eq!(at, plain_at + FAULT_EXTRA_DELAY);
+                assert_eq!(again, at + FAULT_DUP_GAP);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(f.stats().delayed, 1);
+        assert_eq!(f.stats().duplicated, 1);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! i2pscope census  [--format text|csv] [--fig LIST] [knobs]
-//! i2pscope harvest --out FILE [knobs]
+//! i2pscope harvest --out FILE [--resume] [knobs]
 //! i2pscope figures (--from FILE | --live) [--format text|csv]
 //!                  [--fig LIST] [--verify] [knobs]
 //! i2pscope sweep   [--format text|csv] [knobs]
@@ -13,6 +13,7 @@
 //!
 //! knobs: --scale F  --seed N  --days N  --fleet N
 //!        --replicates N  --threads N  --model uniform|keyspace
+//!        --faults SPEC
 //!        (defaults come from the I2PSCOPE_* environment variables)
 //! ```
 
@@ -52,6 +53,12 @@ options:
   --adversary NAME       adversary: the registered name or '+'-chain
                          to run (or set I2PSCOPE_ADVERSARY)
   --list                 adversary: print the registered catalog
+  --resume               harvest: recover an existing (possibly
+                         truncated/corrupt) snapshot at --out and
+                         harvest only the missing days
+  --faults SPEC          deterministic fault plane, e.g.
+                         loss=0.02,ff_crash=0.01,stall=5,outage=0.1
+                         (or set I2PSCOPE_FAULTS; default no faults)
   --scale F --seed N --days N --fleet N --replicates N --threads N
                          override the I2PSCOPE_* environment knobs
 ";
@@ -68,6 +75,7 @@ struct Args {
     capture: Option<PathBuf>,
     adversary: Option<String>,
     list: bool,
+    resume: bool,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
@@ -84,6 +92,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         capture: None,
         adversary: None,
         list: false,
+        resume: false,
     };
     let mut argv = argv.peekable();
     while let Some(flag) = argv.next() {
@@ -103,6 +112,8 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             "--live" => args.live = true,
             "--verify" => args.verify = true,
             "--model" => args.knobs.model = value("--model")?.parse()?,
+            "--faults" => args.knobs.faults = value("--faults")?.parse()?,
+            "--resume" => args.resume = true,
             "--sybils" => {
                 args.sybils = Some(
                     value("--sybils")?
@@ -148,7 +159,7 @@ fn run() -> Result<String, String> {
         "census" => Ok(cli::census(&args.knobs, args.format, &args.figs)),
         "harvest" => {
             let out = args.out.ok_or("harvest needs --out FILE")?;
-            cli::harvest(&args.knobs, &out).map_err(|e| e.to_string())
+            cli::harvest(&args.knobs, &out, args.resume).map_err(|e| e.to_string())
         }
         "figures" => match (&args.from, args.live) {
             (Some(path), false) => {

@@ -12,6 +12,7 @@
 //! harvest (`--model keyspace` switches the other commands onto the
 //! same placement model; uniform stays the oracle).
 
+use i2p_faults::{FaultPlane, FaultSpec};
 use i2p_measure::adversary::{self, AdversaryLab};
 use i2p_measure::engine::HarvestEngine;
 use i2p_measure::fleet::Fleet;
@@ -23,6 +24,10 @@ use i2p_sim::world::{World, WorldConfig};
 use i2p_store::{Snapshot, StoreError};
 use std::fmt::Write as _;
 use std::path::Path;
+
+/// Salt mixed into the fault plane's seed so fault draws never reuse
+/// the world's own seeded streams.
+const FAULT_SALT: u64 = 0xFA17_5EED_0000_0001;
 
 /// Scale/seed/size knobs, resolved from the `I2PSCOPE_*` environment
 /// (same variables and panic-on-malformed semantics as the bench
@@ -44,6 +49,9 @@ pub struct Knobs {
     pub threads: usize,
     /// Harvest visibility model (`I2PSCOPE_MODEL`: uniform|keyspace).
     pub model: Model,
+    /// Fault-injection spec (`I2PSCOPE_FAULTS` / `--faults`; empty =
+    /// no faults, bit-identical to a build without the fault plane).
+    pub faults: FaultSpec,
 }
 
 /// Which visibility model the harvest runs under — the CLI-facing
@@ -63,6 +71,14 @@ impl Model {
         match self {
             Model::Uniform => VisibilityModel::Uniform,
             Model::Keyspace => VisibilityModel::Keyspace(KeyspaceConfig::paper()),
+        }
+    }
+
+    /// The CLI spelling, echoed by audit lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::Uniform => "uniform",
+            Model::Keyspace => "keyspace",
         }
     }
 }
@@ -103,7 +119,17 @@ impl Knobs {
             replicates: env_parse("I2PSCOPE_REPLICATES", 1),
             threads: env_parse("I2PSCOPE_THREADS", 0),
             model: env_parse("I2PSCOPE_MODEL", Model::Uniform),
+            faults: match std::env::var("I2PSCOPE_FAULTS") {
+                Ok(v) => FaultSpec::resolve_or_panic(&v),
+                Err(_) => FaultSpec::default(),
+            },
         }
+    }
+
+    /// The seeded fault plane these knobs configure; zero spec ⇒ a
+    /// plane that injects nothing (and short-circuits every draw).
+    pub fn plane(&self) -> FaultPlane {
+        FaultPlane::new(self.faults, self.seed ^ FAULT_SALT)
     }
 
     /// The configured world.
@@ -212,6 +238,27 @@ fn titled_csv(title: &str, csv: String) -> String {
 /// byte-identical output (the CI smoke and `tests/store_replay.rs`
 /// hold live vs replayed renders to `==`).
 pub fn render_figures(src: &dyn SnapshotSource, format: Format, figs: &[FigId]) -> String {
+    let mut out = String::new();
+    // Degraded-mode annotation: a partial harvest (vantage outages,
+    // recovered snapshot prefix, …) says so up front, in both formats.
+    // Full datasets render byte-identically to a build without this
+    // check — the annotation only exists when a cell is dark.
+    let cov = src.coverage();
+    if cov.is_degraded() {
+        match format {
+            Format::Text => {
+                let _ = writeln!(out, "{}\n", cov.annotation());
+            }
+            Format::Csv => {
+                let _ = writeln!(out, "# {}", cov.annotation());
+            }
+        }
+    }
+    out.push_str(&render_figure_blocks(src, format, figs));
+    out
+}
+
+fn render_figure_blocks(src: &dyn SnapshotSource, format: Format, figs: &[FigId]) -> String {
     let span = src.days();
     let n_days = span.clone().count() as u64;
     // Fig. 5/6 sample every `step` days (≤ ~10 rows); Table 1 and the
@@ -319,14 +366,46 @@ pub fn render_figures(src: &dyn SnapshotSource, format: Format, figs: &[FigId]) 
     out
 }
 
+/// The deterministic audit line every dataset-producing command prints:
+/// the full parameter tuple plus data-derived coverage and row totals.
+/// Same seed + spec ⇒ byte-identical line, across runs and thread
+/// counts (nothing here may echo a thread count or wall clock).
+pub fn audit_line(knobs: &Knobs, src: &dyn SnapshotSource) -> String {
+    let cov = src.coverage();
+    let k = src.vantage_count();
+    let rows: u64 = src
+        .days()
+        .map(|d| src.count_union_prefix(d, k) as u64)
+        .sum();
+    format!(
+        "audit: seed={} scale={} days={} fleet={} model={} faults={} \
+         days_observed={}/{} cells={}/{} rows={rows}",
+        knobs.seed,
+        knobs.scale,
+        knobs.days,
+        knobs.fleet,
+        knobs.model.name(),
+        knobs.faults,
+        cov.days_full + cov.days_partial,
+        cov.days_expected,
+        cov.cells_observed,
+        cov.cells_expected,
+    )
+}
+
 /// `i2pscope census`: generate the configured world, harvest it live,
 /// and print the full measurement report (the `network_census` example
 /// is this function at example scale).
 pub fn census(knobs: &Knobs, format: Format, figs: &[FigId]) -> String {
     let world = knobs.world();
     let fleet = knobs.fleet();
-    let engine =
-        HarvestEngine::build_with(&world, &fleet, 0..knobs.days, &knobs.model.visibility());
+    let engine = HarvestEngine::build_faulted(
+        &world,
+        &fleet,
+        0..knobs.days,
+        &knobs.model.visibility(),
+        &knobs.plane(),
+    );
     let mut out = format!(
         "world: {} peers over {} days, ~{} online daily; fleet: {} monitoring routers\n\n",
         world.total_peers(),
@@ -338,17 +417,58 @@ pub fn census(knobs: &Knobs, format: Format, figs: &[FigId]) -> String {
     out
 }
 
-/// `i2pscope harvest --out FILE`: generate, harvest, and archive the
-/// dataset as an `i2p-store` snapshot. Returns a human summary.
-pub fn harvest(knobs: &Knobs, out_path: &Path) -> Result<String, StoreError> {
+/// `i2pscope harvest --out FILE [--resume]`: generate, harvest, and
+/// archive the dataset as an `i2p-store` snapshot (written atomically —
+/// a crash mid-write never tears an existing archive). With `resume`,
+/// an existing — possibly damaged — snapshot at `out_path` is loaded
+/// through quarantine-and-recover, its valid contiguous-day prefix is
+/// kept, and only the missing days are harvested and appended; archive
+/// identities are deterministic, so the result is byte-identical to a
+/// one-shot harvest. Returns a human summary ending in the audit line.
+pub fn harvest(knobs: &Knobs, out_path: &Path, resume: bool) -> Result<String, StoreError> {
+    let plane = knobs.plane();
     let world = knobs.world();
     let fleet = knobs.fleet();
-    let engine =
-        HarvestEngine::build_with(&world, &fleet, 0..knobs.days, &knobs.model.visibility());
-    let snapshot = Snapshot::capture(&engine);
-    let bytes = snapshot.to_bytes();
-    std::fs::write(out_path, &bytes)?;
     let mut out = String::new();
+    let snapshot = if resume {
+        let (mut head, report) = Snapshot::read_recover(out_path)?;
+        let m = head.meta();
+        if m.world_seed != knobs.seed
+            || m.world_scale.to_bits() != knobs.scale.to_bits()
+            || m.world_days != knobs.days
+            || m.day_start != 0
+            || m.vantages != fleet.vantages
+        {
+            return Err(StoreError::Corrupt { what: "resume: snapshot does not match the knobs" });
+        }
+        let done = m.n_days as u64;
+        let _ = writeln!(out, "resume: existing snapshot {report}");
+        if done < knobs.days {
+            let engine = HarvestEngine::build_faulted(
+                &world,
+                &fleet,
+                done..knobs.days,
+                &knobs.model.visibility(),
+                &plane,
+            );
+            head.extend(Snapshot::capture(&engine))?;
+            let _ = writeln!(out, "resume: harvested days {done}..{}", knobs.days);
+        } else {
+            let _ = writeln!(out, "resume: nothing to do ({done} days already archived)");
+        }
+        head
+    } else {
+        let engine = HarvestEngine::build_faulted(
+            &world,
+            &fleet,
+            0..knobs.days,
+            &knobs.model.visibility(),
+            &plane,
+        );
+        Snapshot::capture(&engine)
+    };
+    let bytes = snapshot.to_bytes();
+    snapshot.write_to_with(out_path, &plane)?;
     let _ = writeln!(
         out,
         "archived {} observation rows over {} days ({} vantages) to {}",
@@ -365,6 +485,7 @@ pub fn harvest(knobs: &Knobs, out_path: &Path) -> Result<String, StoreError> {
         knobs.seed,
         knobs.scale
     );
+    let _ = writeln!(out, "{}", audit_line(knobs, &snapshot));
     Ok(out)
 }
 
@@ -373,9 +494,35 @@ pub fn harvest(knobs: &Knobs, out_path: &Path) -> Result<String, StoreError> {
 pub fn figures_live(knobs: &Knobs, format: Format, figs: &[FigId]) -> String {
     let world = knobs.world();
     let fleet = knobs.fleet();
-    let engine =
-        HarvestEngine::build_with(&world, &fleet, 0..knobs.days, &knobs.model.visibility());
+    let engine = HarvestEngine::build_faulted(
+        &world,
+        &fleet,
+        0..knobs.days,
+        &knobs.model.visibility(),
+        &knobs.plane(),
+    );
     render_figures(&engine, format, figs)
+}
+
+/// [`figures_live`] plus the trailing audit line (a `#` comment in CSV
+/// mode) — the form the chaos goldens pin.
+pub fn figures_live_audited(knobs: &Knobs, format: Format, figs: &[FigId]) -> String {
+    let world = knobs.world();
+    let fleet = knobs.fleet();
+    let engine = HarvestEngine::build_faulted(
+        &world,
+        &fleet,
+        0..knobs.days,
+        &knobs.model.visibility(),
+        &knobs.plane(),
+    );
+    let mut out = render_figures(&engine, format, figs);
+    let prefix = match format {
+        Format::Text => "",
+        Format::Csv => "# ",
+    };
+    let _ = writeln!(out, "{prefix}{}", audit_line(knobs, &engine));
+    out
 }
 
 /// `i2pscope figures --from FILE`: load a snapshot (always checksum-
@@ -406,6 +553,7 @@ pub fn sweep(knobs: &Knobs, format: Format) -> String {
         replicates: knobs.replicates,
         threads: knobs.threads,
         seed: knobs.seed,
+        faults: knobs.plane(),
         ..Default::default()
     };
     let points = evaluate(&cfg);
@@ -445,7 +593,7 @@ pub fn sybil(
         let max = *cfg.counts.iter().max().expect("validated non-empty grid");
         let engine = sybil::attacked_engine(&world, &fleet, &cfg, sweep.target_id, max);
         let snapshot = Snapshot::capture(&engine);
-        std::fs::write(path, snapshot.to_bytes())?;
+        snapshot.write_to(path)?;
         // In CSV mode the status line is a `#` comment, like every
         // other scalar footer the csv_* emitters produce.
         let prefix = match format {
@@ -517,7 +665,7 @@ pub fn adversary(
     if let Some(path) = capture {
         let engine = adv.capture(&lab);
         let snapshot = Snapshot::capture(&engine);
-        std::fs::write(path, snapshot.to_bytes()).map_err(|e| e.to_string())?;
+        snapshot.write_to(path).map_err(|e| e.to_string())?;
         let _ = writeln!(
             out,
             "{prefix}captured adversary harvest ({} rows) to {}",

@@ -21,6 +21,7 @@ pub mod cli;
 
 pub use i2p_crypto as crypto;
 pub use i2p_data as data;
+pub use i2p_faults as faults;
 pub use i2p_geoip as geoip;
 pub use i2p_measure as measure;
 pub use i2p_netdb as netdb;

@@ -18,6 +18,7 @@
 //! makes byte-level pinning possible at all.
 
 use i2pscope::cli::{self, FigId, Format, Knobs, Model};
+use i2pscope::faults::FaultSpec;
 use i2pscope::measure::adversary::{parse_spec, AdversaryLab};
 use i2pscope::measure::censor::blocking_matrix;
 use i2pscope::measure::fleet::Fleet;
@@ -82,6 +83,7 @@ fn knobs(model: Model) -> Knobs {
         replicates: 1,
         threads: 1,
         model,
+        faults: FaultSpec::default(),
     }
 }
 
@@ -147,6 +149,18 @@ fn golden_extended_renderers() {
     let _ = write!(csv, "{}", report::csv_sybil(&sybil));
     check_golden("extended.txt", &text);
     check_golden("extended.csv", &csv);
+}
+
+#[test]
+fn golden_faulted_scenario() {
+    // One pinned chaos scenario: vantage outages plus message loss at a
+    // fixed seed. Pins both the degraded-figure annotation (coverage
+    // header) and the audit line, text + CSV, so fault-plane or
+    // renderer drift under injected faults is caught at the byte level.
+    let mut k = knobs(Model::Uniform);
+    k.faults = "outage=0.3,loss=0.02".parse().expect("valid fault spec");
+    check_golden("figures_faulted.txt", &cli::figures_live_audited(&k, Format::Text, &FigId::ALL));
+    check_golden("figures_faulted.csv", &cli::figures_live_audited(&k, Format::Csv, &FigId::ALL));
 }
 
 #[test]
