@@ -220,7 +220,7 @@ impl DetRng {
             all.truncate(k);
             return all;
         }
-        let mut chosen = std::collections::HashSet::with_capacity(k);
+        let mut chosen = std::collections::HashSet::with_capacity(k); // i2plint: allow(nondet-hash) -- membership-only scratch set; iteration order is never observed
         let mut out = Vec::with_capacity(k);
         for j in (n - k)..n {
             let t = self.below(j as u64 + 1) as usize;

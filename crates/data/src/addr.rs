@@ -45,8 +45,8 @@ impl std::fmt::Display for PeerIp {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PeerIp::V4(v) => {
-                let b = v.to_be_bytes();
-                write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+                let [a, b, c, d] = v.to_be_bytes();
+                write!(f, "{a}.{b}.{c}.{d}")
             }
             PeerIp::V6(v) => {
                 let b = v.to_be_bytes();
@@ -54,7 +54,7 @@ impl std::fmt::Display for PeerIp {
                     if i > 0 {
                         write!(f, ":")?;
                     }
-                    write!(f, "{:x}", u16::from_be_bytes([chunk[0], chunk[1]]))?;
+                    write!(f, "{:x}", u16::from_be_bytes([chunk[0], chunk[1]]))?; // i2plint: allow(index-literal) -- chunks(2) of [u8; 16] yields exact pairs
                 }
                 Ok(())
             }

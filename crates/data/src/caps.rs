@@ -47,6 +47,20 @@ impl BandwidthClass {
         BandwidthClass::X,
     ];
 
+    /// Position in [`BandwidthClass::ALL`] (ascending bandwidth
+    /// order), as a total function — histogram code indexes by this.
+    pub const fn index(self) -> usize {
+        match self {
+            BandwidthClass::K => 0,
+            BandwidthClass::L => 1,
+            BandwidthClass::M => 2,
+            BandwidthClass::N => 3,
+            BandwidthClass::O => 4,
+            BandwidthClass::P => 5,
+            BandwidthClass::X => 6,
+        }
+    }
+
     /// The capability letter.
     pub const fn letter(self) -> char {
         match self {
@@ -245,7 +259,7 @@ impl CapsString {
 
     /// The string view.
     pub fn as_str(&self) -> &str {
-        // Only ASCII bytes are ever pushed.
+        // i2plint: allow(panic-audit) -- push() only ever appends ASCII capability letters
         std::str::from_utf8(&self.buf[..self.len as usize]).expect("caps are ASCII")
     }
 }

@@ -187,19 +187,19 @@ impl<'a> Reader<'a> {
     /// Reads a big-endian u16.
     pub fn u16(&mut self, what: &'static str) -> Result<u16, DecodeError> {
         let b = self.take(2, what)?;
-        Ok(u16::from_be_bytes([b[0], b[1]]))
+        Ok(u16::from_be_bytes([b[0], b[1]])) // i2plint: allow(index-literal) -- take(2, ..) returned exactly 2 bytes
     }
 
     /// Reads a big-endian u32.
     pub fn u32(&mut self, what: &'static str) -> Result<u32, DecodeError> {
         let b = self.take(4, what)?;
-        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]])) // i2plint: allow(index-literal) -- take(4, ..) returned exactly 4 bytes
     }
 
     /// Reads a big-endian u64.
     pub fn u64(&mut self, what: &'static str) -> Result<u64, DecodeError> {
         let b = self.take(8, what)?;
-        Ok(u64::from_be_bytes(b.try_into().unwrap()))
+        Ok(u64::from_be_bytes(b.try_into().unwrap())) // i2plint: allow(panic-audit) -- take(8, ..) returned exactly 8 bytes
     }
 
     /// Reads `n` raw bytes.
@@ -257,7 +257,7 @@ impl<'a> Reader<'a> {
 
     /// Reads exactly 32 bytes into an array.
     pub fn array32(&mut self, what: &'static str) -> Result<[u8; 32], DecodeError> {
-        Ok(self.take(32, what)?.try_into().unwrap())
+        Ok(self.take(32, what)?.try_into().unwrap()) // i2plint: allow(panic-audit) -- take(32, ..) returned exactly 32 bytes
     }
 
     /// Reads an I2P string.

@@ -44,7 +44,7 @@ impl Hash256 {
     /// First 8 bytes as a big-endian integer — handy for cheap ordering
     /// and for deriving deterministic per-router sub-seeds.
     pub fn prefix_u64(&self) -> u64 {
-        u64::from_be_bytes(self.0[..8].try_into().unwrap())
+        u64::from_be_bytes(self.0[..8].try_into().unwrap()) // i2plint: allow(panic-audit) -- self.0 is [u8; 32]; 8 bytes always exist
     }
 
     /// Short hex form (first 8 hex chars), as used in log output.

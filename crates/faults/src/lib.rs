@@ -137,7 +137,7 @@ impl FaultSpec {
     /// panics with the parse error, like every other malformed
     /// `I2PSCOPE_*` value.
     pub fn resolve_or_panic(spec: &str) -> FaultSpec {
-        FaultSpec::parse(spec).unwrap_or_else(|e| panic!("I2PSCOPE_FAULTS: {e}"))
+        FaultSpec::parse(spec).unwrap_or_else(|e| panic!("I2PSCOPE_FAULTS: {e}")) // i2plint: allow(panic-audit) -- malformed env knobs abort loudly by contract (DESIGN.md para 10)
     }
 
     /// Whether this spec injects nothing at all.

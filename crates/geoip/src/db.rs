@@ -94,7 +94,7 @@ impl GeoDb {
                 weight: TAIL_TOTAL_WEIGHT * (1.0 / (k + 20) as f64) / tail_norm,
             });
         }
-        let code_index = |code: &str| countries.iter().position(|c| c.code == code).unwrap();
+        let code_index = |code: &str| countries.iter().position(|c| c.code == code).unwrap(); // i2plint: allow(panic-audit) -- the explicit-AS table below only names codes inserted above
 
         // Explicit ASes: global weight = country weight × within-country
         // share.
@@ -220,11 +220,11 @@ impl GeoDb {
 
     /// Samples an AS (global weight-proportional); the country follows.
     pub fn sample_as(&self, rng: &mut DetRng) -> AsId {
-        let total = *self.cum_weights.last().unwrap();
+        let total = *self.cum_weights.last().unwrap(); // i2plint: allow(panic-audit) -- one cumulative weight per AS; the built-in table is never empty
         let x = rng.next_f64() * total;
         match self
             .cum_weights
-            .binary_search_by(|w| w.partial_cmp(&x).unwrap())
+            .binary_search_by(|w| w.partial_cmp(&x).unwrap()) // i2plint: allow(panic-audit) -- weights are finite positive constants, so the comparison is total
         {
             Ok(i) => (i + 1).min(self.ases.len() - 1),
             Err(i) => i.min(self.ases.len() - 1),

@@ -1,0 +1,13 @@
+//! Fixture: directive misuse — each variant is itself a finding, and
+//! an invalid directive never suppresses the violation under it.
+
+pub fn missing_reason(v: &[u8]) -> u8 {
+    v[0] // i2plint: allow(index-literal)
+}
+
+pub fn unknown_rule(v: &[u8]) -> u8 {
+    v[1] // i2plint: allow(made-up-rule) -- not a rule the catalog knows
+}
+
+// i2plint: allow(panic-audit) -- stale: suppresses nothing below
+pub fn clean() {}

@@ -1,0 +1,10 @@
+//! Fixture: every wall-clock read the catalog bans. Fixtures are not
+//! compiled — they exist to pin the analyzer's behavior byte-for-byte.
+
+pub fn monotonic() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,13 @@
+//! Fixture: slice indexing by literal — a hidden length assumption.
+
+pub fn head(v: &[u8]) -> u8 {
+    v[0]
+}
+
+pub fn pair(v: &[u8]) -> (u8, u8) {
+    (v[0], v[1])
+}
+
+pub fn chained(rows: &[Vec<u8>]) -> u8 {
+    rows[2][7]
+}

@@ -1,0 +1,13 @@
+//! Fixture: ambient IO outside the store/CLI boundary.
+
+pub fn read_config() -> std::io::Result<String> {
+    std::fs::read_to_string("config.toml")
+}
+
+pub fn knob() -> Option<String> {
+    std::env::var("I2PSCOPE_SECRET").ok()
+}
+
+pub fn dial() -> std::io::Result<std::net::TcpStream> {
+    std::net::TcpStream::connect("127.0.0.1:7654")
+}

@@ -1,0 +1,40 @@
+//! Fixture: lines that LOOK like violations but must not fire.
+//!
+//! Doc comments may freely mention std::collections::HashMap,
+//! Instant::now(), or .unwrap() — prose is not code. The same goes for
+//! a stray `// i2plint: example` marker inside documentation.
+
+/// The docs' favorite example is `std::time::Instant::now()`.
+pub fn doc_mention() -> &'static str {
+    "call thread_rng() and std::fs::read somewhere else"
+}
+
+pub fn raw_literal() -> &'static str {
+    r#"std::collections::HashMap::new() inside a raw string"#
+}
+
+pub fn char_not_lifetime<'a>(v: &'a [char]) -> bool {
+    v.contains(&'[') // '[' is a char literal, not an index expression
+}
+
+pub fn fx_is_legal(map: &FxHashMap<u64, u64>) -> usize {
+    map.len() // FxHashMap must never trip the HashMap token
+}
+
+pub fn allowed(v: &[u8]) -> u8 {
+    v[0] // i2plint: allow(index-literal) -- fixture: caller guarantees non-empty
+}
+
+// i2plint: allow(panic-audit) -- fixture: own-line directive guards the next code line
+pub fn allowed_stacked(opt: Option<u8>) -> u8 { opt.unwrap() }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_do_anything() {
+        let t = std::time::Instant::now();
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u8, t);
+        m.get(&1).unwrap();
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: nondeterministic std hashing on a replayed path.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(keys: &[u64]) -> HashMap<u64, usize> {
+    let mut m = HashMap::new();
+    for k in keys {
+        *m.entry(*k).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn uniq(keys: &[u64]) -> HashSet<u64> {
+    keys.iter().copied().collect()
+}

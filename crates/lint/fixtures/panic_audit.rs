@@ -1,0 +1,17 @@
+//! Fixture: the panic audit in library code.
+
+pub fn first(v: &[u8]) -> u8 {
+    v.first().copied().unwrap()
+}
+
+pub fn must(opt: Option<u8>) -> u8 {
+    opt.expect("fixture")
+}
+
+pub fn boom() {
+    panic!("fixture");
+}
+
+pub fn later() {
+    todo!()
+}

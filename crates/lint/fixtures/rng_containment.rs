@@ -1,0 +1,15 @@
+//! Fixture: RNG construction outside the approved seed/fork modules.
+
+pub fn fresh_root() -> DetRng {
+    DetRng::new(42)
+}
+
+pub fn ambient() -> u64 {
+    thread_rng().next_u64()
+}
+
+pub fn os_backed() -> [u8; 32] {
+    let mut buf = [0u8; 32];
+    OsRng.fill_bytes(&mut buf);
+    buf
+}

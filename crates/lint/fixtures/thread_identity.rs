@@ -1,0 +1,9 @@
+//! Fixture: thread-identity reads that perturb replayed results.
+
+pub fn lane_id() -> std::thread::ThreadId {
+    std::thread::current().id()
+}
+
+pub fn workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}

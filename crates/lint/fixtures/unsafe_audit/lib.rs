@@ -1,0 +1,3 @@
+//! Fixture: a crate root that forgot its `#![forbid(unsafe_code)]`.
+
+pub fn no_forbid_here() {}

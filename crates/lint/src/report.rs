@@ -1,0 +1,163 @@
+//! Findings, the suppression ledger, and the two render formats.
+//!
+//! Output is deterministic by construction: findings and allows are
+//! sorted by (path, line, column, rule) before rendering, paths are
+//! workspace-relative with `/` separators, and nothing in the report
+//! depends on scan order, wall clocks, thread counts, or absolute
+//! paths — reruns are byte-identical, which is what lets the fixture
+//! corpus pin a golden `lint_report.json`.
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line and byte column.
+    pub line: usize,
+    pub col: usize,
+    /// Rule name (or `directive` for suppression-syntax errors).
+    pub rule: String,
+    /// What matched and why it is banned here.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// One exercised `i2plint: allow` directive — the suppression ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    pub path: String,
+    pub line: usize,
+    pub rule: String,
+    /// The mandatory justification, verbatim from the directive.
+    pub reason: String,
+}
+
+/// The result of one analyzer run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub allows: Vec<Allow>,
+    pub files_scanned: usize,
+    pub rules_checked: usize,
+}
+
+impl Report {
+    /// Canonical ordering; called once after the scan.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
+        self.allows
+            .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    }
+
+    /// The one-line machine-readable audit summary. Grep-stable: CI
+    /// asserts on these four `key=value` fields.
+    pub fn summary(&self) -> String {
+        format!(
+            "i2p-lint: rules_checked={} files_scanned={} findings={} allows={}",
+            self.rules_checked,
+            self.files_scanned,
+            self.findings.len(),
+            self.allows.len()
+        )
+    }
+
+    /// Human-oriented rendering: one `path:line:col: rule: message`
+    /// block per finding, then the suppression ledger.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!("{}:{}:{}: {}: {}\n", f.path, f.line, f.col, f.rule, f.message));
+            if !f.snippet.is_empty() {
+                out.push_str(&format!("    {}\n", f.snippet));
+            }
+        }
+        if !self.allows.is_empty() {
+            out.push_str("suppression ledger (every allow carries its reason):\n");
+            for a in &self.allows {
+                out.push_str(&format!("  {}:{}: allow({}) -- {}\n", a.path, a.line, a.rule, a.reason));
+            }
+        }
+        out
+    }
+
+    /// Machine-oriented rendering: stable field order, two-space
+    /// indentation, trailing newline.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"rules_checked\": {},\n", self.rules_checked));
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}, \"snippet\": {}}}",
+                json_str(&f.rule),
+                json_str(&f.path),
+                f.line,
+                f.col,
+                json_str(&f.message),
+                json_str(&f.snippet)
+            ));
+        }
+        out.push_str(if self.findings.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"allows\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"reason\": {}}}",
+                json_str(&a.rule),
+                json_str(&a.path),
+                a.line,
+                json_str(&a.reason)
+            ));
+        }
+        out.push_str(if self.allows.is_empty() { "]\n" } else { "\n  ]\n" });
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_report_renders_stably() {
+        let mut r = Report { rules_checked: 8, files_scanned: 3, ..Report::default() };
+        r.sort();
+        assert_eq!(r.render_text(), "");
+        assert_eq!(r.summary(), "i2p-lint: rules_checked=8 files_scanned=3 findings=0 allows=0");
+        let j = r.render_json();
+        assert!(j.contains("\"findings\": []"));
+        assert!(j.contains("\"allows\": []"));
+        assert!(j.ends_with("}\n"));
+    }
+}

@@ -223,7 +223,7 @@ impl Adversary for Deanon {
             lab.seed,
             lab.threads,
         );
-        let last = outcomes.last().expect("non-empty grid");
+        let last = outcomes.last().expect("non-empty grid"); // i2plint: allow(panic-audit) -- grid() always contains at least one scenario
         AdversaryOutcome {
             name: self.name().into(),
             config: self.config(lab),
@@ -328,7 +328,7 @@ impl Adversary for ClosedLoop {
             &Self::grid(lab),
             lab.eval_day,
         );
-        let last = outcomes.last().expect("non-empty grid");
+        let last = outcomes.last().expect("non-empty grid"); // i2plint: allow(panic-audit) -- grid() always contains at least one scenario
         AdversaryOutcome {
             name: self.name().into(),
             config: self.config(lab),
@@ -431,7 +431,7 @@ impl Adversary for SybilEclipse {
     fn run(&self, lab: &AdversaryLab<'_>) -> AdversaryOutcome {
         let cfg = Self::config(lab);
         let sweep = sybil::run(lab.world, lab.fleet, &cfg);
-        let last = sweep.points.last().expect("non-empty grid");
+        let last = sweep.points.last().expect("non-empty grid"); // i2plint: allow(panic-audit) -- SybilConfig validation rejects an empty counts grid
         AdversaryOutcome {
             name: self.name().into(),
             config: self.config(lab),
@@ -540,7 +540,7 @@ impl Adversary for Bridges {
             lab.seed,
             lab.threads,
         );
-        let combo = outcomes.last().expect("non-empty grid");
+        let combo = outcomes.last().expect("non-empty grid"); // i2plint: allow(panic-audit) -- the escalation grid always contains at least one variant
         AdversaryOutcome {
             name: self.name().into(),
             config: self.config(lab),

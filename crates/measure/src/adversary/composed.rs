@@ -194,7 +194,7 @@ pub(super) fn chain_state(
                     placement_at_build = placement;
                     view = Some(v);
                 }
-                m.observe(lab, knobs, day, view.as_ref().expect("view built above"), &mut state);
+                m.observe(lab, knobs, day, view.as_ref().expect("view built above"), &mut state); // i2plint: allow(panic-audit) -- the view is built on the first iteration, before any observe
             }
             m.act(lab, knobs, day, &mut state);
         }
@@ -261,7 +261,7 @@ impl Adversary for Composed {
     /// model — so a Sybil-assisted chain's `.i2ps` shows the eclipsed
     /// harvest, not the oracle one.
     fn capture<'w>(&self, lab: &AdversaryLab<'w>) -> HarvestEngine<'w> {
-        let knobs = self.variants.last().expect("validated non-empty");
+        let knobs = self.variants.last().expect("validated non-empty"); // i2plint: allow(panic-audit) -- ChainKnobs validation rejects an empty escalation grid
         let state = chain_state(lab, &self.members, knobs);
         HarvestEngine::build_with(
             lab.world,

@@ -65,7 +65,7 @@ pub fn names() -> Vec<&'static str> {
 /// Every registered adversary, in catalog order (what `--list`
 /// renders and the uniqueness test walks).
 pub fn all() -> Vec<Box<dyn Adversary>> {
-    NAMES.iter().map(|n| build(n).expect("registered name builds")).collect()
+    NAMES.iter().map(|n| build(n).expect("registered name builds")).collect() // i2plint: allow(panic-audit) -- NAMES is the registry: every registered name builds
 }
 
 /// Parses an adversary spec: an exact registered name, or a
@@ -109,7 +109,7 @@ pub fn parse_spec(spec: &str) -> Result<Box<dyn Adversary>, String> {
 /// [`parse_spec`] for the `I2PSCOPE_ADVERSARY` env-knob path: panics
 /// with the parse error, like every other malformed `I2PSCOPE_*` value.
 pub fn resolve_or_panic(spec: &str) -> Box<dyn Adversary> {
-    parse_spec(spec).unwrap_or_else(|e| panic!("{e}"))
+    parse_spec(spec).unwrap_or_else(|e| panic!("{e}")) // i2plint: allow(panic-audit) -- malformed env knobs abort loudly by contract (see env_parse)
 }
 
 /// Renders the catalog listing (`i2pscope adversary --list`): name,

@@ -149,7 +149,7 @@ pub fn sweep_attacks(
     lab::sweep(&victim, scenarios, threads, |victim, s, _| {
         let k = keys
             .binary_search(&(s.censor_routers, s.window_days))
-            .expect("every scenario's blacklist key was precomputed");
+            .expect("every scenario's blacklist key was precomputed"); // i2plint: allow(panic-audit) -- keys were built from the same scenario grid searched here
         run_attack(victim, &blacklists[k], s.n_malicious, n_tunnels, seed)
     })
 }
@@ -165,7 +165,7 @@ pub(crate) fn run_attack(
     seed: u64,
 ) -> AttackOutcome {
     let setup = setup_for(victim, blacklist, n_malicious);
-    let mut rng = DetRng::new(seed ^ 0xA77AC4);
+    let mut rng = DetRng::new(seed ^ 0xA77AC4); // i2plint: allow(rng-containment) -- keyed draw: seed xor lane fully determines the attack stream
 
     // Honest survivors get the typical L/N-class selection weight; the
     // attacker's routers advertise X-class capacity.

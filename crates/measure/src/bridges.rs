@@ -162,7 +162,7 @@ pub fn sweep_bridges(
     lab::sweep(&bl_day0, scenarios, threads, |bl_day0, s, _| {
         let h = horizons
             .binary_search(&s.horizon)
-            .expect("every scenario's horizon blacklist was precomputed");
+            .expect("every scenario's horizon blacklist was precomputed"); // i2plint: allow(panic-audit) -- horizons were built from the same scenario grid searched here
         evaluate_strategy_with(
             world, s.strategy, start_day, s.horizon, n_bridges, seed, bl_day0, &bl_ends[h],
         )
@@ -183,7 +183,7 @@ fn evaluate_strategy_with(
     bl_day0: &FxHashSet<PeerIp>,
     bl_end: &FxHashSet<PeerIp>,
 ) -> BridgeOutcome {
-    let mut rng = DetRng::new(seed ^ 0xB121D6E);
+    let mut rng = DetRng::new(seed ^ 0xB121D6E); // i2plint: allow(rng-containment) -- keyed draw: seed xor lane fully determines the bridge stream
     let mut candidates = strategy.candidates(world, start_day);
     rng.shuffle(&mut candidates);
     candidates.truncate(n_bridges);

@@ -9,7 +9,7 @@ use i2p_sim::world::World;
 
 /// Index of a class in K..X order.
 fn idx(c: BandwidthClass) -> usize {
-    BandwidthClass::ALL.iter().position(|x| *x == c).unwrap()
+    c.index()
 }
 
 /// Fig. 9: average daily count of peers per *published* bandwidth

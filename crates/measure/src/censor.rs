@@ -42,7 +42,7 @@ fn victim_sees(peer: &PeerRecord, day: u64, salt: u64) -> bool {
     let exposure = params::VICTIM_CAPTURE * (0.85 * peer.w + 0.15 * peer.u);
     let p = 1.0 - (-exposure).exp();
     let pair_seed = peer.seed ^ salt.wrapping_mul(0xA076_1D64_78BD_642F);
-    fleet::daily_draw(pair_seed, day, p, || DetRng::new(pair_seed ^ 0xF00D).next_f64() < p)
+    fleet::daily_draw(pair_seed, day, p, || DetRng::new(pair_seed ^ 0xF00D).next_f64() < p) // i2plint: allow(rng-containment) -- keyed fallback draw derived from (pair_seed, day) only
 }
 
 /// Builds the victim's view as of `eval_day`: RouterInfos gathered over

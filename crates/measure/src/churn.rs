@@ -62,7 +62,7 @@ pub fn churn_curves_from<S: SnapshotSource + ?Sized>(src: &S, horizon: usize) ->
     let mut int_hist = vec![0usize; horizon + 1];
     let mut cohort = 0usize;
     for days_seen in sightings.values() {
-        let first = days_seen[0];
+        let first = days_seen[0]; // i2plint: allow(index-literal) -- sighting lists are created non-empty: first insert pushes a day
         if first > max_first {
             continue;
         }
@@ -70,7 +70,7 @@ pub fn churn_curves_from<S: SnapshotSource + ?Sized>(src: &S, horizon: usize) ->
         // Continuous streak from first sighting.
         let mut streak = 1usize;
         for w in days_seen.windows(2) {
-            if w[1] == w[0] + 1 {
+            if w[1] == w[0] + 1 { // i2plint: allow(index-literal) -- windows(2) yields exactly 2 elements
                 streak += 1;
             } else {
                 break;

@@ -137,11 +137,12 @@ impl<'w> HarvestEngine<'w> {
         let n_days = day_ids.len();
         let day_words: Vec<usize> = day_ids.iter().map(|ids| ids.len().div_ceil(64)).collect();
         let mut day_off = Vec::with_capacity(n_days + 1);
+        let mut total_words = 0usize;
         day_off.push(0usize);
         for &w in &day_words {
-            day_off.push(day_off.last().unwrap() + w);
+            total_words += w;
+            day_off.push(total_words);
         }
-        let total_words = *day_off.last().unwrap();
         let mut lanes: Vec<Vec<u64>> = vec![vec![0u64; total_words]; vantages.len().max(1)];
         lanes.truncate(vantages.len());
 
@@ -152,7 +153,7 @@ impl<'w> HarvestEngine<'w> {
         // the lanes fill inline; chunking never changes a bit either
         // way (each task's draws are pure and its output disjoint).
         let threads =
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1); // i2plint: allow(thread-identity) -- worker-count choice only; lane fills are bit-identical at any thread count
         if threads == 1 || vantages.len() <= 1 && n_days <= 1 {
             for (v, lane) in lanes.iter_mut().enumerate() {
                 fill_lane_chunk(

@@ -94,8 +94,8 @@ impl Vantage {
         let mut material = [0u8; 14];
         material[..8].copy_from_slice(&self.salt.to_be_bytes());
         material[8..12].copy_from_slice(&self.shared_kbps.to_be_bytes());
-        material[12] = b'v';
-        material[13] = match self.mode {
+        material[12] = b'v'; // i2plint: allow(index-literal) -- material is a fixed [u8; 14]
+        material[13] = match self.mode { // i2plint: allow(index-literal) -- material is a fixed [u8; 14]
             VantageMode::Floodfill => b'f',
             VantageMode::NonFloodfill => b'n',
         };

@@ -166,7 +166,7 @@ pub fn closest_k(pop: &[FloodfillPos], key: &RoutingKey, k: usize) -> Vec<(Dista
     let mut best: Vec<(Distance, usize)> = Vec::with_capacity(k.min(pop.len()) + 1);
     for (i, f) in pop.iter().enumerate() {
         let d = f.pos.distance(key);
-        if best.len() < k || d < best.last().expect("non-empty at capacity").0 {
+        if best.len() < k || d < best.last().expect("non-empty at capacity").0 { // i2plint: allow(panic-audit) -- last() runs only when best is at capacity k >= 1
             let at = best.partition_point(|(b, _)| *b < d);
             best.insert(at, (d, i));
             if best.len() > k {
@@ -222,7 +222,7 @@ pub fn day_gates(
     for (i, &id) in online_ids.iter().enumerate() {
         let key = RoutingKey::for_day(&world.peers[id as usize].hash, day);
         let top = closest_k(&pop, &key, cfg.replication);
-        let kth = top.last().expect("replication >= 1 and population non-empty").0;
+        let kth = top.last().expect("replication >= 1 and population non-empty").0; // i2plint: allow(panic-audit) -- replication >= 1 and the floodfill population is non-empty here
         for (v, vpos) in vantage_pos.iter().enumerate() {
             let Some(vpos) = vpos else { continue }; // non-floodfill: gate open
             if vpos.distance(&key) > kth {

@@ -66,7 +66,7 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
+            .map(|h| h.join().expect("sweep worker panicked")) // i2plint: allow(panic-audit) -- join fails only if a worker panicked; propagate that panic
             .collect()
     });
     let mut slots: Vec<Option<R>> = scenarios.iter().map(|_| None).collect();
@@ -75,7 +75,7 @@ where
     }
     slots
         .into_iter()
-        .map(|s| s.expect("every scenario index claimed exactly once"))
+        .map(|s| s.expect("every scenario index claimed exactly once")) // i2plint: allow(panic-audit) -- the sweep claims every scenario index exactly once
         .collect()
 }
 

@@ -91,7 +91,7 @@ impl ObservedRouterInfo {
 
     /// Parsed capacity flags.
     pub fn parsed_caps(&self) -> i2p_data::Caps {
-        i2p_data::Caps::parse(&self.caps).expect("observed caps are well-formed")
+        i2p_data::Caps::parse(&self.caps).expect("observed caps are well-formed") // i2plint: allow(panic-audit) -- caps strings come from CapsString, which stores only parsed caps
     }
 }
 

@@ -126,7 +126,7 @@ pub fn render_fig8(r: &IpChurnReport) -> String {
     let _ = writeln!(
         out,
         "single-IP: {:.1}%   multi-IP: {:.1}%   >100 IPs: {} peers ({:.2}%)",
-        100.0 * r.ip_hist[1] as f64 / r.known_ip_peers.max(1) as f64,
+        100.0 * r.ip_hist[1] as f64 / r.known_ip_peers.max(1) as f64, // i2plint: allow(index-literal) -- ip_hist always has IP_BUCKETS + 1 >= 2 slots
         100.0 * r.multi_ip_peers as f64 / r.known_ip_peers.max(1) as f64,
         r.over_100_ips,
         100.0 * r.over_100_ips as f64 / r.known_ip_peers.max(1) as f64,
@@ -155,10 +155,10 @@ pub fn render_table1(t: &BandwidthTable, est: &FloodfillEstimate) -> String {
             t.floodfill[i], t.reachable[i], t.unreachable[i], t.total[i]
         );
     }
+    let [ff_n, reach_n, unreach_n, total_n] = t.group_sizes;
     let _ = writeln!(
         out,
-        "groups: floodfill {} / reachable {} / unreachable {} / total {}",
-        t.group_sizes[0], t.group_sizes[1], t.group_sizes[2], t.group_sizes[3]
+        "groups: floodfill {ff_n} / reachable {reach_n} / unreachable {unreach_n} / total {total_n}"
     );
     let _ = writeln!(
         out,
@@ -234,13 +234,14 @@ pub fn render_fig13(series: &[BlockingSeries]) -> String {
         let _ = write!(out, "   {:>2}-day", s.window_days);
     }
     out.push('\n');
-    let n_points = series.first().map(|s| s.points.len()).unwrap_or(0);
-    for i in 0..n_points {
-        let _ = write!(out, "{:>7}", series[0].points[i].0);
-        for s in series {
-            let _ = write!(out, "   {:>5.1}%", s.points[i].1);
+    if let Some(first) = series.first() {
+        for i in 0..first.points.len() {
+            let _ = write!(out, "{:>7}", first.points[i].0);
+            for s in series {
+                let _ = write!(out, "   {:>5.1}%", s.points[i].1);
+            }
+            out.push('\n');
         }
-        out.push('\n');
     }
     out
 }
@@ -421,11 +422,8 @@ pub fn csv_table1(t: &BandwidthTable, est: &FloodfillEstimate) -> String {
             t.floodfill[i], t.reachable[i], t.unreachable[i], t.total[i]
         );
     }
-    let _ = writeln!(
-        out,
-        "# group-sizes,{},{},{},{}",
-        t.group_sizes[0], t.group_sizes[1], t.group_sizes[2], t.group_sizes[3]
-    );
+    let [ff_n, reach_n, unreach_n, total_n] = t.group_sizes;
+    let _ = writeln!(out, "# group-sizes,{ff_n},{reach_n},{unreach_n},{total_n}");
     let _ = writeln!(
         out,
         "# floodfill-estimate,{},{},{:.4},{:.0}",

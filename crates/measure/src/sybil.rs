@@ -198,7 +198,7 @@ pub fn grind_sybils(
     for nonce in 0..budget {
         let cand = sybil_identity(attacker_seed, day, nonce);
         let d = RoutingKey::for_day(&cand, day).distance(&tkey);
-        if best.len() < count || d < best.last().expect("non-empty at capacity").0 {
+        if best.len() < count || d < best.last().expect("non-empty at capacity").0 { // i2plint: allow(panic-audit) -- last() runs only when best is at capacity count >= 1
             let at = best.partition_point(|(b, _)| *b < d);
             best.insert(at, (d, cand));
             if best.len() > count {

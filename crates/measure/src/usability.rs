@@ -176,7 +176,7 @@ pub fn evaluate_on(sub: &WarmSubstrate, cfg: &UsabilityConfig) -> Vec<UsabilityP
     });
     runs.chunks(cfg.replicates)
         .map(|reps| {
-            let rate_pct = reps[0].blocking_rate_pct;
+            let rate_pct = reps[0].blocking_rate_pct; // i2plint: allow(index-literal) -- chunks() never yields an empty chunk
             let pooled: Vec<Option<f64>> =
                 reps.iter().flat_map(|p| p.fetches.iter().copied()).collect();
             point_from_fetches(rate_pct, cfg, pooled, cfg.replicates)

@@ -18,8 +18,7 @@
 //! dead — and the per-peer query count stays ≤ 1 + `max_retries`.
 
 use crate::routing_key::RoutingKey;
-use i2p_data::{Duration, Hash256, SimTime};
-use std::collections::HashSet;
+use i2p_data::{Duration, FxHashSet, Hash256, SimTime};
 
 /// Parallelism of the iterative walk (Kademlia's α).
 pub const ALPHA: usize = 3;
@@ -56,7 +55,7 @@ pub struct IterativeLookup {
     /// Known-but-unqueried candidates.
     candidates: Vec<Hash256>,
     /// Already queried.
-    queried: HashSet<Hash256>,
+    queried: FxHashSet<Hash256>,
     /// Whether the record was found.
     found: bool,
     /// Time the lookup started (for timeout accounting by the caller).
@@ -89,7 +88,7 @@ impl IterativeLookup {
         let mut l = IterativeLookup {
             key,
             candidates: initial,
-            queried: HashSet::new(),
+            queried: FxHashSet::default(),
             found: false,
             started: now,
             day: now.day(),
@@ -271,7 +270,7 @@ mod tests {
         assert_eq!(q1.len(), ALPHA);
         let q2 = l.next_queries();
         assert_eq!(q2.len(), ALPHA);
-        let all: HashSet<_> = q1.iter().chain(&q2).collect();
+        let all: FxHashSet<_> = q1.iter().chain(&q2).collect();
         assert_eq!(all.len(), 6, "no repeated queries");
         assert_eq!(l.queried_count(), 6);
     }

@@ -166,7 +166,7 @@ impl EepRequest {
 
     /// Parses; `None` if this is not an EepRequest.
     pub fn from_bytes(b: &[u8]) -> Option<Self> {
-        if b.len() < 1 + 8 + 32 + 4 + 8 || b[0] != 1 {
+        if b.len() < 1 + 8 + 32 + 4 + 8 || b.first() != Some(&1) {
             return None;
         }
         Some(EepRequest {
@@ -199,7 +199,7 @@ impl EepResponse {
 
     /// Parses; `None` if this is not an EepResponse.
     pub fn from_bytes(b: &[u8]) -> Option<Self> {
-        if b.len() < 9 || b[0] != 2 {
+        if b.len() < 9 || b.first() != Some(&2) {
             return None;
         }
         Some(EepResponse {
@@ -355,7 +355,7 @@ impl TestNet {
                     .take(3)
                     .map(|r| Introducer {
                         router: r.hash(),
-                        ip: r.public_ip.expect("public router has ip"),
+                        ip: r.public_ip.expect("public router has ip"), // i2plint: allow(panic-audit) -- Public reachability implies a published IP
                         tag: rng.next_u32(),
                     })
                     .collect();
@@ -515,7 +515,7 @@ impl TestNet {
             if head.at > deadline {
                 break;
             }
-            let Reverse(event) = self.queue.pop().unwrap();
+            let Reverse(event) = self.queue.pop().unwrap(); // i2plint: allow(panic-audit) -- peek() above proved the queue non-empty
             self.now = event.at;
             let mut rng = self.rng.fork(0x11a9d ^ event.seq);
             let out = self.routers[event.to].handle(event.msg, self.now, &mut rng);

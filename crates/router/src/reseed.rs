@@ -58,7 +58,7 @@ impl ReseedServer {
         // Derive a per-source permutation seed from HMAC(salt, source).
         let key = self.salt.to_be_bytes();
         let digest = hmac_sha256(&key, &source.digest64().to_be_bytes());
-        let seed = u64::from_be_bytes(digest[..8].try_into().unwrap());
+        let seed = u64::from_be_bytes(digest[..8].try_into().unwrap()); // i2plint: allow(panic-audit) -- digest is [u8; 32]; 8 bytes always exist
         let mut rng = DetRng::new(seed);
         let take = RESEED_ANSWER_SIZE.min(self.known.len());
         let idx = rng.sample_indices(self.known.len(), take);

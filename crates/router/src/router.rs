@@ -158,7 +158,7 @@ impl Router {
     pub fn make_router_info(&self, now: SimTime) -> RouterInfo {
         let addresses = match self.config.reachability {
             Reachability::Public => {
-                let ip = self.public_ip.expect("public router needs an IP");
+                let ip = self.public_ip.expect("public router needs an IP"); // i2plint: allow(panic-audit) -- Public reachability implies a published IP
                 vec![
                     RouterAddress::published(TransportStyle::Ntcp, ip, self.port),
                     RouterAddress::published(TransportStyle::Ssu, ip, self.port),

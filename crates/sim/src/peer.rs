@@ -269,7 +269,7 @@ impl PeerRecord {
 }
 
 fn class_index(c: BandwidthClass) -> usize {
-    BandwidthClass::ALL.iter().position(|x| *x == c).unwrap()
+    c.index()
 }
 
 fn sample_class(r: &mut DetRng) -> BandwidthClass {

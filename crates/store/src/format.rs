@@ -60,7 +60,7 @@ pub fn checksum(data: &[u8]) -> [u8; CHECKSUM_LEN] {
     let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (data.len() as u64).wrapping_mul(M);
     let mut chunks = data.chunks_exact(8);
     for c in &mut chunks {
-        let lane = u64::from_le_bytes(c.try_into().expect("exact chunk"));
+        let lane = u64::from_le_bytes(c.try_into().expect("exact chunk")); // i2plint: allow(panic-audit) -- chunks_exact(8) yields exactly 8 bytes
         h = (h ^ lane).wrapping_mul(M);
         h ^= h >> 29;
     }

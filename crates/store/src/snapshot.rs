@@ -389,7 +389,7 @@ fn archive_router_info(
     idents: &mut FxHashMap<u32, (RouterIdentity, i2p_data::ident::IdentitySecrets)>,
 ) -> RouterInfo {
     let (ident, secrets) = idents.entry(obs.peer_id).or_insert_with(|| {
-        let mut rng = DetRng::new(obs.hash.prefix_u64() ^ IDENT_SALT);
+        let mut rng = DetRng::new(obs.hash.prefix_u64() ^ IDENT_SALT); // i2plint: allow(rng-containment) -- keyed identity lane: router hash and IDENT_SALT determine the identity
         RouterIdentity::generate(&mut rng)
     });
     let port = 9000 + (obs.hash.prefix_u64() % 22_001) as u16;
@@ -407,7 +407,7 @@ fn archive_router_info(
             tag: obs.peer_id,
         }]));
     }
-    let caps = Caps::parse(&obs.caps).expect("observed caps are well-formed");
+    let caps = Caps::parse(&obs.caps).expect("observed caps are well-formed"); // i2plint: allow(panic-audit) -- archived caps were validated on capture and checksummed since
     RouterInfo::new_signed(
         *ident,
         secrets,

@@ -22,6 +22,34 @@ use i2p_data::Hash256;
 /// The fixed on-wire sizes of the four handshake messages.
 pub const HANDSHAKE_SIZES: [usize; 4] = [288, 304, 448, 48];
 
+/// The fixed wire size of handshake step `0..4` (`HANDSHAKE_SIZES` as
+/// a total function, so steps never index the table out of range).
+pub const fn step_size(step: u8) -> usize {
+    match step {
+        0 => 288,
+        1 => 304,
+        2 => 448,
+        _ => 48,
+    }
+}
+
+/// First 8 bytes as a big-endian DH public value; protocol error on a
+/// short message instead of a panic.
+fn be_u64_head(bytes: &[u8]) -> Result<u64, HandshakeError> {
+    match bytes.get(..8).and_then(|s| <[u8; 8]>::try_from(s).ok()) {
+        Some(head) => Ok(u64::from_be_bytes(head)),
+        None => Err(HandshakeError::Protocol),
+    }
+}
+
+/// 32 hash bytes starting at `lo`; protocol error on a short message.
+fn hash_at(bytes: &[u8], lo: usize) -> Result<Hash256, HandshakeError> {
+    match bytes.get(lo..lo + 32).and_then(|s| s.try_into().ok()) {
+        Some(h) => Ok(Hash256(h)),
+        None => Err(HandshakeError::Protocol),
+    }
+}
+
 /// A handshake message (sized payload).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HandshakeMsg {
@@ -112,7 +140,7 @@ impl Handshake {
                 self.state = State::InitSentRequest;
                 let mut body = Vec::with_capacity(288);
                 body.extend_from_slice(&self.keys.public.0.to_be_bytes());
-                Ok(HandshakeMsg { step: 0, bytes: pad_to(body, HANDSHAKE_SIZES[0], rng) })
+                Ok(HandshakeMsg { step: 0, bytes: pad_to(body, step_size(0), rng) })
             }
             _ => Err(HandshakeError::Protocol),
         }
@@ -129,24 +157,24 @@ impl Handshake {
         match (&self.state, msg.step) {
             // Responder receives SessionRequest.
             (State::RespStart, 0) => {
-                if msg.len() != HANDSHAKE_SIZES[0] {
+                if msg.len() != step_size(0) {
                     self.state = State::Failed;
                     return Err(HandshakeError::Protocol);
                 }
-                let their_pub = DhPublic(u64::from_be_bytes(msg.bytes[..8].try_into().unwrap()));
+                let their_pub = DhPublic(be_u64_head(&msg.bytes)?);
                 let shared = self.keys.shared(their_pub);
                 let mut body = Vec::with_capacity(304);
                 body.extend_from_slice(&self.keys.public.0.to_be_bytes());
                 self.state = State::RespSentCreated(shared);
-                Ok(Some(HandshakeMsg { step: 1, bytes: pad_to(body, HANDSHAKE_SIZES[1], rng) }))
+                Ok(Some(HandshakeMsg { step: 1, bytes: pad_to(body, step_size(1), rng) }))
             }
             // Initiator receives SessionCreated.
             (State::InitSentRequest, 1) => {
-                if msg.len() != HANDSHAKE_SIZES[1] {
+                if msg.len() != step_size(1) {
                     self.state = State::Failed;
                     return Err(HandshakeError::Protocol);
                 }
-                let their_pub = DhPublic(u64::from_be_bytes(msg.bytes[..8].try_into().unwrap()));
+                let their_pub = DhPublic(be_u64_head(&msg.bytes)?);
                 let shared = self.keys.shared(their_pub);
                 let mac = hmac_sha256(&shared.0, b"confirm-a");
                 let mut body = Vec::with_capacity(448);
@@ -155,11 +183,11 @@ impl Handshake {
                 // Peer hash learned at step 4 for the initiator; store a
                 // placeholder updated on confirm-B.
                 self.state = State::InitDone(shared, Hash256::ZERO);
-                Ok(Some(HandshakeMsg { step: 2, bytes: pad_to(body, HANDSHAKE_SIZES[2], rng) }))
+                Ok(Some(HandshakeMsg { step: 2, bytes: pad_to(body, step_size(2), rng) }))
             }
             // Responder receives SessionConfirmA.
             (State::RespSentCreated(shared), 2) => {
-                if msg.len() != HANDSHAKE_SIZES[2] {
+                if msg.len() != step_size(2) {
                     self.state = State::Failed;
                     return Err(HandshakeError::Protocol);
                 }
@@ -169,15 +197,15 @@ impl Handshake {
                     self.state = State::Failed;
                     return Err(HandshakeError::BadAuth);
                 }
-                let peer = Hash256(msg.bytes[32..64].try_into().unwrap());
+                let peer = hash_at(&msg.bytes, 32)?;
                 let mut body = Vec::with_capacity(48);
                 body.extend_from_slice(&hmac_sha256(&shared.0, &self.local_hash.0));
                 self.state = State::RespDone(shared, peer);
-                Ok(Some(HandshakeMsg { step: 3, bytes: pad_to(body, HANDSHAKE_SIZES[3], rng) }))
+                Ok(Some(HandshakeMsg { step: 3, bytes: pad_to(body, step_size(3), rng) }))
             }
             // Initiator receives SessionConfirmB.
             (State::InitDone(shared, _), 3) => {
-                if msg.len() != HANDSHAKE_SIZES[3] {
+                if msg.len() != step_size(3) {
                     self.state = State::Failed;
                     return Err(HandshakeError::Protocol);
                 }

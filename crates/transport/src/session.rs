@@ -64,7 +64,7 @@ impl Session {
         if mac != &expect[..MAC_LEN] {
             return Err(FrameError::BadMac);
         }
-        let seq = u64::from_be_bytes(head[..8].try_into().unwrap());
+        let seq = u64::from_be_bytes(head[..8].try_into().unwrap()); // i2plint: allow(panic-audit) -- frame length checked above: head is at least 8 bytes
         if seq < self.recv_seq {
             return Err(FrameError::Replay);
         }

@@ -45,8 +45,8 @@ impl BuildRecord {
             return None;
         }
         let tunnel_id = u32::from_be_bytes(b[..4].try_into().ok()?);
-        let position = b[4];
-        let (next_hop, rest) = match b[5] {
+        let position = *b.get(4)?;
+        let (next_hop, rest) = match *b.get(5)? {
             1 => {
                 if b.len() < 6 + 32 {
                     return None;
