@@ -10,9 +10,10 @@ use i2p_measure::engine::HarvestEngine;
 use i2p_measure::fleet::Fleet;
 
 fn main() {
+    let mut report = i2p_bench::report("ablation_blacklist_window");
     let world = i2p_bench::world(40);
     let fleet = Fleet::alternating(20);
-    i2p_bench::emit("Ablation: blacklist window", || {
+    report.emit("Ablation: blacklist window", || {
         let victim = victim_view(&world, 35, 0x51C);
         // One engine fill over the widest window serves all nine sweeps.
         let engine = HarvestEngine::build(&world, &fleet, 6..36);
@@ -35,4 +36,5 @@ fn main() {
         out.push_str("\n(§6.2.2: five days suffice; longer windows mostly add stale rules)\n");
         out
     });
+    report.write();
 }

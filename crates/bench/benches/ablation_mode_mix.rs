@@ -29,8 +29,9 @@ fn fleet_of(mode: Option<VantageMode>, n: usize) -> Fleet {
 }
 
 fn main() {
+    let mut report = i2p_bench::report("ablation_mode_mix");
     let world = i2p_bench::world(8);
-    i2p_bench::emit("Ablation: fleet mode mix", || {
+    report.emit("Ablation: fleet mode mix", || {
         let mut out = String::from(
             "Ablation: 20-router fleet composition (peers observed, day-averaged)\n\
              ---------------------------------------------------------------------\n\
@@ -58,4 +59,5 @@ fn main() {
         out.push_str("\n(§4.2: \"it is important to operate routers in both modes\")\n");
         out
     });
+    report.write();
 }

@@ -12,8 +12,9 @@ use i2p_measure::engine::HarvestEngine;
 use i2p_measure::fleet::{Fleet, Vantage, VantageMode};
 
 fn main() {
+    let mut report = i2p_bench::report("ablation_visibility");
     let world = i2p_bench::world(6);
-    i2p_bench::emit("Ablation: visibility heterogeneity", || {
+    report.emit("Ablation: visibility heterogeneity", || {
         let fleet = Fleet::alternating(40);
         // Measured heterogeneous curve: one engine fill on day 3, then
         // every prefix falls out of a single cumulative-OR pass.
@@ -45,4 +46,5 @@ fn main() {
         );
         out
     });
+    report.write();
 }

@@ -3,23 +3,27 @@
 //! Runs every registered adversary — the five paper attacks plus the
 //! three composed scenarios — through one `AdversaryLab`, prints each
 //! audit line, and writes per-adversary sweep wall-times to
-//! `BENCH_adversary.json` at the repo root so CI can track the cost of
-//! the catalog over time. The wall-times are machine-dependent; the
-//! audit lines are not (they never echo thread counts or timings).
+//! `BENCH_adversary.json` at the repo root (through the shared
+//! `bench_report` emitter) so CI can track the cost of the catalog
+//! over time. The wall-times are machine-dependent; the audit lines
+//! and the artifact's counter deltas are not (they never echo thread
+//! counts or timings).
 
 use i2p_measure::adversary::{registry, AdversaryLab};
 use i2p_measure::fleet::Fleet;
 use std::fmt::Write as _;
-use std::path::Path;
 use std::time::Instant;
 
 fn main() {
+    let mut report = i2p_bench::report("adversary");
     let days = i2p_bench::days().clamp(3, 8);
     let world = i2p_bench::world(days);
     let fleet = Fleet::alternating(6);
+    report.knob("fleet", fleet.vantages.len());
+    report.knob("lab_days", days);
     let lab = AdversaryLab::new(&world, &fleet, 0..days, i2p_bench::threads());
     let mut timings: Vec<(String, f64)> = Vec::new();
-    i2p_bench::emit("Extension: unified adversary catalog", || {
+    report.emit("Extension: unified adversary catalog", || {
         let mut out = String::new();
         for adv in registry::all() {
             let t = Instant::now();
@@ -30,18 +34,8 @@ fn main() {
         }
         out
     });
-
-    let mut json = String::from("{\n  \"bench\": \"ext_adversary\",\n");
-    let _ = writeln!(json, "  \"scale\": {},", i2p_bench::scale());
-    let _ = writeln!(json, "  \"days\": {days},");
-    let _ = writeln!(json, "  \"fleet\": {},", fleet.vantages.len());
-    json.push_str("  \"sweep_wall_s\": {\n");
-    for (i, (name, secs)) in timings.iter().enumerate() {
-        let comma = if i + 1 == timings.len() { "" } else { "," };
-        let _ = writeln!(json, "    {name:?}: {secs:.3}{comma}");
+    for (name, secs) in timings {
+        report.record_wall_s(&name, secs);
     }
-    json.push_str("  }\n}\n");
-    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_adversary.json");
-    std::fs::write(&path, json).expect("write BENCH_adversary.json");
-    eprintln!("[i2p-bench] wrote {}", path.display());
+    report.write();
 }

@@ -10,9 +10,10 @@ use i2p_measure::bridges::{render_bridge_comparison, sweep_bridges, BridgeScenar
 use i2p_measure::fleet::Fleet;
 
 fn main() {
+    let mut report = i2p_bench::report("ext_bridges");
     let world = i2p_bench::world(55);
     let fleet = Fleet::alternating(20);
-    i2p_bench::emit("Extension: bridge distribution", || {
+    report.emit("Extension: bridge distribution", || {
         let horizons = [1u64, 5, 10];
         let scenarios: Vec<BridgeScenario> = horizons
             .iter()
@@ -37,4 +38,5 @@ fn main() {
         }
         out
     });
+    report.write();
 }

@@ -13,6 +13,7 @@ use i2p_measure::fleet::Fleet;
 use i2p_measure::usability::UsabilityConfig;
 
 fn main() {
+    let mut report = i2p_bench::report("ext_closed_loop");
     let world = i2p_bench::world(40);
     let fleet = Fleet::alternating(20);
     let cfg = UsabilityConfig {
@@ -30,8 +31,9 @@ fn main() {
         ClosedLoopScenario { censor_routers: 10, window_days: 5 },
         ClosedLoopScenario { censor_routers: 20, window_days: 30 },
     ];
-    i2p_bench::emit("Extension: Fig. 13 → Fig. 14 closed loop", || {
+    report.emit("Extension: Fig. 13 → Fig. 14 closed loop", || {
         let outcomes = closed_loop_sweep(&world, &fleet, &cfg, &scenarios, 35);
         render_closed_loop(&outcomes)
     });
+    report.write();
 }

@@ -12,9 +12,10 @@ use i2p_measure::attack::{render_attack_sweep, sweep_attacks, AttackScenario};
 use i2p_measure::fleet::Fleet;
 
 fn main() {
+    let mut report = i2p_bench::report("ext_deanon_attack");
     let world = i2p_bench::world(40);
     let fleet = Fleet::alternating(20);
-    i2p_bench::emit("Extension: deanonymization setup", || {
+    report.emit("Extension: deanonymization setup", || {
         let configs = [(0usize, 1u64), (6, 1), (20, 5)];
         let malicious = [2usize, 5, 10, 20, 40];
         let scenarios: Vec<AttackScenario> = configs
@@ -46,4 +47,5 @@ fn main() {
         }
         out
     });
+    report.write();
 }

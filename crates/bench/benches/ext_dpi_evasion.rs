@@ -13,7 +13,8 @@ use i2p_transport::handshake::run_handshake;
 use i2p_transport::ntcp2::run_ntcp2_handshake;
 
 fn main() {
-    i2p_bench::emit("Extension: DPI evasion", || {
+    let mut report = i2p_bench::report("ext_dpi_evasion");
+    report.emit("Extension: DPI evasion", || {
         let mut rng = DetRng::new(i2p_bench::seed());
         let trials = 2_000;
         let mut detected_legacy = 0;
@@ -45,4 +46,5 @@ fn main() {
             size_samples[0]
         )
     });
+    report.write();
 }

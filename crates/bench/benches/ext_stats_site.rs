@@ -9,9 +9,11 @@
 use i2p_measure::statsite::{render_stats_site, stats_site_estimate};
 
 fn main() {
+    let mut report = i2p_bench::report("ext_stats_site");
     let world = i2p_bench::world(40);
-    i2p_bench::emit("Extension: stats.i2p critique", || {
+    report.emit("Extension: stats.i2p critique", || {
         let est = stats_site_estimate(&world, 35);
         render_stats_site(&est)
     });
+    report.write();
 }

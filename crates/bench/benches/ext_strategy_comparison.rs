@@ -9,7 +9,8 @@ use i2p_crypto::DetRng;
 use i2p_measure::strategies::{render_strategies, score_strategies, synthetic_mix};
 
 fn main() {
-    i2p_bench::emit("Extension: strategy comparison", || {
+    let mut report = i2p_bench::report("ext_strategy_comparison");
+    report.emit("Extension: strategy comparison", || {
         let mut rng = DetRng::new(i2p_bench::seed());
         let mut out = String::new();
         for (label, ntcp2_share) in [("legacy NTCP fleet", 0.0), ("NTCP2-obfuscated fleet", 1.0)] {
@@ -20,4 +21,5 @@ fn main() {
         }
         out
     });
+    report.write();
 }

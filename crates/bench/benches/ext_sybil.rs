@@ -20,6 +20,7 @@ use i2p_measure::report::render_sybil;
 use i2p_measure::sybil::{run, SybilConfig};
 
 fn main() {
+    let mut report = i2p_bench::report("ext_sybil");
     let days = i2p_bench::days().min(8);
     let world = i2p_bench::world(days);
     let fleet = Fleet::alternating(8);
@@ -30,7 +31,7 @@ fn main() {
         threads: i2p_bench::threads(),
         ..SybilConfig::paper(0..days)
     };
-    i2p_bench::emit("Extension: eclipse/Sybil sweep", || {
+    report.emit("Extension: eclipse/Sybil sweep", || {
         let sweep = run(&world, &fleet, &cfg);
         let mut out = render_sybil(&sweep);
         out.push_str(&format!(
@@ -39,4 +40,5 @@ fn main() {
         ));
         out
     });
+    report.write();
 }

@@ -8,9 +8,11 @@ use i2p_measure::population::single_router_experiment;
 use i2p_measure::report::render_fig2;
 
 fn main() {
+    let mut report = i2p_bench::report("fig02_single_router");
     let world = i2p_bench::world(10);
-    i2p_bench::emit("Figure 2", || {
+    report.emit("Figure 2", || {
         let series = single_router_experiment(&world, 0xF1602);
         render_fig2(&series)
     });
+    report.write();
 }

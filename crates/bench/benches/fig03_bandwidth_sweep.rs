@@ -8,9 +8,11 @@ use i2p_measure::population::bandwidth_sweep;
 use i2p_measure::report::render_fig3;
 
 fn main() {
+    let mut report = i2p_bench::report("fig03_bandwidth_sweep");
     let world = i2p_bench::world(10);
-    i2p_bench::emit("Figure 3", || {
+    report.emit("Figure 3", || {
         let rows = bandwidth_sweep(&world, 2..9);
         render_fig3(&rows)
     });
+    report.write();
 }

@@ -9,8 +9,9 @@ use i2p_measure::population::cumulative_by_router_count;
 use i2p_measure::report::render_fig4;
 
 fn main() {
+    let mut report = i2p_bench::report("fig04_router_count");
     let world = i2p_bench::world(6);
-    i2p_bench::emit("Figure 4", || {
+    report.emit("Figure 4", || {
         let curve = cumulative_by_router_count(&world, 40, 0..5);
         let text = render_fig4(&curve);
         let at20 = curve[19].1 as f64;
@@ -22,4 +23,5 @@ fn main() {
             (at40 - curve[34].1 as f64) / 5.0
         )
     });
+    report.write();
 }

@@ -9,10 +9,11 @@ use i2p_measure::population::daily_census;
 use i2p_measure::report::render_fig5;
 
 fn main() {
+    let mut report = i2p_bench::report("fig05_population");
     let days = i2p_bench::days();
     let world = i2p_bench::world(days);
     let fleet = Fleet::paper_main();
-    i2p_bench::emit("Figure 5", || {
+    report.emit("Figure 5", || {
         // Sample every 4th day (the plot's visual density) to keep the
         // bench brisk; every day participates in the other analyses.
         let series: Vec<_> = (0..days)
@@ -21,4 +22,5 @@ fn main() {
             .collect();
         render_fig5(&series)
     });
+    report.write();
 }

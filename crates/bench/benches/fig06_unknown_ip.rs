@@ -9,10 +9,11 @@ use i2p_measure::population::{daily_census, firewalled_hidden_overlap};
 use i2p_measure::report::render_fig6;
 
 fn main() {
+    let mut report = i2p_bench::report("fig06_unknown_ip");
     let days = i2p_bench::days().min(30);
     let world = i2p_bench::world(days);
     let fleet = Fleet::paper_main();
-    i2p_bench::emit("Figure 6", || {
+    report.emit("Figure 6", || {
         let series: Vec<_> = (0..days)
             .step_by(2)
             .map(|d| (d, daily_census(&world, &fleet, d)))
@@ -20,4 +21,5 @@ fn main() {
         let overlap = firewalled_hidden_overlap(&world, &fleet, 0..days);
         render_fig6(&series, overlap)
     });
+    report.write();
 }

@@ -9,10 +9,11 @@ use i2p_measure::fleet::Fleet;
 use i2p_measure::report::render_fig7;
 
 fn main() {
+    let mut report = i2p_bench::report("fig07_churn");
     let days = i2p_bench::days();
     let world = i2p_bench::world(days);
     let fleet = Fleet::paper_main();
-    i2p_bench::emit("Figure 7", || {
+    report.emit("Figure 7", || {
         let curves = churn_curves(&world, &fleet, days, 80.min(days as usize - 5));
         let mut text = render_fig7(&curves, &[7, 10, 20, 30, 40, 50, 60, 70, 80]);
         text.push_str(&format!(
@@ -25,4 +26,5 @@ fn main() {
         ));
         text
     });
+    report.write();
 }

@@ -9,11 +9,13 @@ use i2p_measure::ipchurn::ip_churn_report;
 use i2p_measure::report::render_fig8;
 
 fn main() {
+    let mut report = i2p_bench::report("fig08_ip_churn");
     let days = i2p_bench::days();
     let world = i2p_bench::world(days);
     let fleet = Fleet::paper_main();
-    i2p_bench::emit("Figure 8", || {
+    report.emit("Figure 8", || {
         let rep = ip_churn_report(&world, &fleet, 0..days);
         render_fig8(&rep)
     });
+    report.write();
 }

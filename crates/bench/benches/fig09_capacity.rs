@@ -8,10 +8,12 @@ use i2p_measure::fleet::Fleet;
 use i2p_measure::report::render_fig9;
 
 fn main() {
+    let mut report = i2p_bench::report("fig09_capacity");
     let world = i2p_bench::world(12);
     let fleet = Fleet::paper_main();
-    i2p_bench::emit("Figure 9", || {
+    report.emit("Figure 9", || {
         let hist = capacity_histogram(&world, &fleet, 2..10);
         render_fig9(&hist)
     });
+    report.write();
 }

@@ -9,11 +9,13 @@ use i2p_measure::geo::country_distribution;
 use i2p_measure::report::render_fig10;
 
 fn main() {
+    let mut report = i2p_bench::report("fig10_countries");
     let days = i2p_bench::days();
     let world = i2p_bench::world(days);
     let fleet = Fleet::paper_main();
-    i2p_bench::emit("Figure 10", || {
+    report.emit("Figure 10", || {
         let rep = country_distribution(&world, &fleet, 0..days);
         render_fig10(&rep, 20)
     });
+    report.write();
 }

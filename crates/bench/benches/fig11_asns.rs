@@ -8,11 +8,13 @@ use i2p_measure::geo::as_distribution;
 use i2p_measure::report::render_fig11;
 
 fn main() {
+    let mut report = i2p_bench::report("fig11_asns");
     let days = i2p_bench::days();
     let world = i2p_bench::world(days);
     let fleet = Fleet::paper_main();
-    i2p_bench::emit("Figure 11", || {
+    report.emit("Figure 11", || {
         let rep = as_distribution(&world, &fleet, 0..days);
         render_fig11(&rep, 20)
     });
+    report.write();
 }

@@ -10,11 +10,13 @@ use i2p_measure::ipchurn::ip_churn_report;
 use i2p_measure::report::render_fig12;
 
 fn main() {
+    let mut report = i2p_bench::report("fig12_as_spread");
     let days = i2p_bench::days();
     let world = i2p_bench::world(days);
     let fleet = Fleet::paper_main();
-    i2p_bench::emit("Figure 12", || {
+    report.emit("Figure 12", || {
         let rep = ip_churn_report(&world, &fleet, 0..days);
         render_fig12(&rep)
     });
+    report.write();
 }

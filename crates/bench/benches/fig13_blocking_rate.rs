@@ -11,11 +11,13 @@ use i2p_measure::fleet::Fleet;
 use i2p_measure::report::render_fig13;
 
 fn main() {
+    let mut report = i2p_bench::report("fig13_blocking_rate");
     let world = i2p_bench::world(40);
     let fleet = Fleet::alternating(20);
-    i2p_bench::emit("Figure 13", || {
+    report.emit("Figure 13", || {
         let router_counts: Vec<usize> = (1..=20).collect();
         let series = blocking_matrix(&world, &fleet, 35, &router_counts, &[1, 5, 10, 20, 30]);
         render_fig13(&series)
     });
+    report.write();
 }

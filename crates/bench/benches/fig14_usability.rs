@@ -23,6 +23,7 @@ use i2p_transport::CensorMode;
 use std::time::Instant;
 
 fn main() {
+    let mut report = i2p_bench::report("fig14_usability");
     let scale = i2p_bench::scale().min(1.0);
     let cfg = UsabilityConfig {
         relays: (((64.0 * scale).round() as usize).max(24)),
@@ -33,7 +34,7 @@ fn main() {
         seed: i2p_bench::seed(),
         ..Default::default()
     };
-    i2p_bench::emit("Figure 14", || {
+    report.emit("Figure 14", || {
         let t = Instant::now();
         let sub = warm_substrate(&cfg);
         eprintln!(
@@ -59,4 +60,5 @@ fn main() {
         out.push_str(&render_fig14(&evaluate_on(&sub, &reset_cfg)));
         out
     });
+    report.write();
 }

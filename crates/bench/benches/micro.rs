@@ -3,7 +3,7 @@
 //! codec, tunnel building blocks, blocklist matching and the
 //! observation-model draw.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
 use i2p_crypto::{sha256, ChaCha20, DetRng};
 use i2p_data::addr::{RouterAddress, TransportStyle};
 use i2p_data::caps::{BandwidthClass, Caps};
@@ -131,4 +131,13 @@ fn bench_censor(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_crypto, bench_netdb, bench_codec, bench_tunnel, bench_censor);
-criterion_main!(benches);
+fn main() {
+    // The shared bench_report emitter folds every measured
+    // `bench_function` into a schema-versioned BENCH_micro.json.
+    let mut report = i2p_bench::report("micro");
+    benches();
+    for (bench, ns) in criterion::take_results() {
+        report.record_ns_per_iter(&bench, ns);
+    }
+    report.write();
+}

@@ -4,7 +4,7 @@
 //! are the primitives every figure bench sits on — regressions here
 //! show up before they reach the figure timings.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use i2p_measure::engine::HarvestEngine;
 use i2p_measure::fleet::Fleet;
 use i2p_sim::world::{World, WorldConfig};
@@ -61,4 +61,13 @@ fn bench_engine(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_day_index, bench_engine);
-criterion_main!(benches);
+fn main() {
+    // The shared bench_report emitter folds every measured
+    // `bench_function` into a schema-versioned BENCH_harvest.json.
+    let mut report = i2p_bench::report("harvest");
+    benches();
+    for (bench, ns) in criterion::take_results() {
+        report.record_ns_per_iter(&bench, ns);
+    }
+    report.write();
+}

@@ -8,7 +8,7 @@
 //! engine. Run with `I2PSCOPE_SCALE=0.1` to reproduce the README
 //! numbers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use i2p_measure::engine::HarvestEngine;
 use i2p_measure::fleet::Fleet;
 use i2p_sim::world::{World, WorldConfig};
@@ -126,4 +126,13 @@ fn bench_primitives(c: &mut Criterion) {
 }
 
 criterion_group!(benches, headline, bench_primitives);
-criterion_main!(benches);
+fn main() {
+    // The shared bench_report emitter folds every measured
+    // `bench_function` into a schema-versioned BENCH_store.json.
+    let mut report = i2p_bench::report("store");
+    benches();
+    for (bench, ns) in criterion::take_results() {
+        report.record_ns_per_iter(&bench, ns);
+    }
+    report.write();
+}

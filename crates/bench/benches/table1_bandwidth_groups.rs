@@ -12,9 +12,10 @@ use i2p_measure::fleet::Fleet;
 use i2p_measure::report::render_table1;
 
 fn main() {
+    let mut report = i2p_bench::report("table1_bandwidth_groups");
     let world = i2p_bench::world(8);
     let fleet = Fleet::paper_main();
-    i2p_bench::emit("Table 1", || {
+    report.emit("Table 1", || {
         let t = bandwidth_table(&world, &fleet, 5);
         let est = floodfill_estimate(&world, &fleet, 5);
         let mut text = render_table1(&t, &est);
@@ -26,4 +27,5 @@ fn main() {
         ));
         text
     });
+    report.write();
 }

@@ -23,6 +23,7 @@ use i2p_sim::world::{World, WorldConfig};
 // One definition of the knob semantics (malformed values **panic**
 // instead of silently falling back to a full-scale run): the CLI's.
 use i2pscope::cli::env_parse;
+use std::fmt::Write as _;
 use std::time::Instant;
 
 fn env_f64(name: &str, default: f64) -> f64 {
@@ -81,4 +82,107 @@ pub fn emit(name: &str, body: impl FnOnce() -> String) {
     let text = body();
     println!("{text}");
     println!("[i2p-bench] {name} regenerated in {:.2?}\n", t.elapsed());
+}
+
+/// Schema tag carried by every `BENCH_<name>.json` artifact.
+pub const BENCH_SCHEMA: &str = "i2p-bench/1";
+
+/// The unified bench artifact: every bench target builds one of these
+/// (via [`report`]), times its sections through [`BenchReport::emit`] /
+/// [`BenchReport::record_wall_s`] / [`BenchReport::record_ns_per_iter`],
+/// and ends with [`BenchReport::write`], which lands a schema-versioned
+/// `BENCH_<name>.json` at the workspace root. Besides the wall clocks
+/// (machine-dependent, for trend lines) the artifact archives the knob
+/// echo and the run's deterministic telemetry-counter deltas
+/// (machine-independent, for cross-run sanity diffs).
+pub struct BenchReport {
+    name: String,
+    started: Instant,
+    knobs: Vec<(String, String)>,
+    sections: Vec<(String, f64)>,
+    ns_per_iter: Vec<(String, f64)>,
+    baseline: i2p_telemetry::counters::Snapshot,
+}
+
+/// Starts the report for the bench target `name` (the artifact becomes
+/// `BENCH_<name>.json`), capturing the standard knob echo and the
+/// telemetry-counter baseline.
+pub fn report(name: &str) -> BenchReport {
+    BenchReport {
+        name: name.to_string(),
+        started: Instant::now(),
+        knobs: vec![
+            ("scale".to_string(), scale().to_string()),
+            ("seed".to_string(), seed().to_string()),
+            ("days".to_string(), days().to_string()),
+            ("threads".to_string(), threads().to_string()),
+            ("replicates".to_string(), replicates().to_string()),
+        ],
+        sections: Vec::new(),
+        ns_per_iter: Vec::new(),
+        baseline: i2p_telemetry::counters::snapshot(),
+    }
+}
+
+impl BenchReport {
+    /// Adds a bench-specific knob to the archived echo.
+    pub fn knob(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.knobs.push((key.to_string(), value.to_string()));
+    }
+
+    /// Like the free [`emit`] — same banner, same footer — but also
+    /// records the section's wall time in the artifact.
+    pub fn emit(&mut self, label: &str, body: impl FnOnce() -> String) {
+        let t = Instant::now();
+        let text = body();
+        let elapsed = t.elapsed();
+        println!("{text}");
+        println!("[i2p-bench] {label} regenerated in {elapsed:.2?}\n");
+        self.sections.push((label.to_string(), elapsed.as_secs_f64()));
+    }
+
+    /// Records a section wall time the caller measured itself.
+    pub fn record_wall_s(&mut self, label: &str, secs: f64) {
+        self.sections.push((label.to_string(), secs));
+    }
+
+    /// Records a criterion-style per-iteration timing (see the shim's
+    /// `take_results`, which drains every measured `bench_function`).
+    pub fn record_ns_per_iter(&mut self, label: &str, ns: f64) {
+        self.ns_per_iter.push((label.to_string(), ns));
+    }
+
+    /// Writes `BENCH_<name>.json` at the workspace root.
+    pub fn write(self) {
+        let total = self.started.elapsed().as_secs_f64();
+        let deltas = i2p_telemetry::counters::snapshot().delta_since(&self.baseline);
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"schema\": {BENCH_SCHEMA:?},");
+        let _ = writeln!(json, "  \"bench\": {:?},", self.name);
+        json.push_str("  \"knobs\": {\n");
+        render_pairs(&mut json, self.knobs.iter().map(|(k, v)| (k.as_str(), format!("{v:?}"))));
+        json.push_str("  },\n");
+        let _ = writeln!(json, "  \"total_wall_s\": {total:.3},");
+        json.push_str("  \"sections_wall_s\": {\n");
+        render_pairs(&mut json, self.sections.iter().map(|(k, s)| (k.as_str(), format!("{s:.3}"))));
+        json.push_str("  },\n");
+        json.push_str("  \"ns_per_iter\": {\n");
+        render_pairs(&mut json, self.ns_per_iter.iter().map(|(k, ns)| (k.as_str(), format!("{ns:.1}"))));
+        json.push_str("  },\n");
+        json.push_str("  \"counters\": {\n");
+        render_pairs(&mut json, deltas.entries().filter(|(_, v)| *v > 0).map(|(k, v)| (k, v.to_string())));
+        json.push_str("  }\n}\n");
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join(format!("../../BENCH_{}.json", self.name));
+        std::fs::write(&path, json).expect("write BENCH json");
+        eprintln!("[i2p-bench] wrote {}", path.display());
+    }
+}
+
+fn render_pairs<'k>(json: &mut String, pairs: impl Iterator<Item = (&'k str, String)>) {
+    let pairs: Vec<_> = pairs.collect();
+    for (i, (key, value)) in pairs.iter().enumerate() {
+        let comma = if i + 1 == pairs.len() { "" } else { "," };
+        let _ = writeln!(json, "    {key:?}: {value}{comma}");
+    }
 }

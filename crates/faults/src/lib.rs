@@ -255,7 +255,18 @@ impl FaultPlane {
     }
 
     fn hit(&self, lane: u64, key: u64, p: f64) -> bool {
-        p > 0.0 && self.draw(lane, key) < p
+        let fired = p > 0.0 && self.draw(lane, key) < p;
+        if fired {
+            // Every lane's injections land in the deterministic
+            // telemetry plane at the draw itself — the one choke point
+            // all probabilistic lanes pass through — so chaos runs are
+            // auditable from the run manifest alone. The draw is a
+            // pure function of (seed, lane, key); so are the totals.
+            if let Some(counter) = lane_counter(lane) {
+                i2p_telemetry::count_one(counter);
+            }
+        }
+        fired
     }
 
     /// Fabric: is the `n`-th send on this fabric lost in flight?
@@ -310,7 +321,26 @@ impl FaultPlane {
     /// `point`? (Deterministic, not probabilistic: the spec names the
     /// exact crash-point to exercise.)
     pub fn io_crash_at(&self, point: u32) -> bool {
-        self.spec.io_crash == point
+        let fired = self.spec.io_crash == point;
+        if fired {
+            i2p_telemetry::count_one(i2p_telemetry::Counter::FaultIoCrashes);
+        }
+        fired
+    }
+}
+
+/// Maps a lane salt to its slot in the deterministic telemetry plane.
+fn lane_counter(lane: u64) -> Option<i2p_telemetry::Counter> {
+    use i2p_telemetry::Counter;
+    match lane {
+        LANE_LOSS => Some(Counter::FaultLossHits),
+        LANE_DELAY => Some(Counter::FaultDelayHits),
+        LANE_DUP => Some(Counter::FaultDupHits),
+        LANE_FF_CRASH => Some(Counter::FaultCrashHits),
+        LANE_STALL => Some(Counter::FaultStallHits),
+        LANE_OUTAGE => Some(Counter::FaultOutageCells),
+        LANE_FLAKE => Some(Counter::FaultFlakeHits),
+        _ => None,
     }
 }
 

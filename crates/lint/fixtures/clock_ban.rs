@@ -1,10 +1,9 @@
-//! Fixture: every wall-clock read the catalog bans. Fixtures are not
-//! compiled — they exist to pin the analyzer's behavior byte-for-byte.
+//! Fixture: any `std::time` path is banned outside crates/bench and
+//! the telemetry timing plane — even `Duration`, which never reads a
+//! clock, because simulated time must come from `i2p_data::time`.
+//! Fixtures are not compiled — they exist to pin the analyzer's
+//! behavior byte-for-byte.
 
-pub fn monotonic() -> std::time::Instant {
-    std::time::Instant::now()
-}
-
-pub fn wall() -> std::time::SystemTime {
-    std::time::SystemTime::now()
+pub fn budget() -> std::time::Duration {
+    std::time::Duration::from_millis(250)
 }

@@ -1,0 +1,12 @@
+//! Fixture: wall-clock reads that dodge the `std::time` path (the
+//! types were `use`d elsewhere) still betray themselves at the call
+//! site. The segregated timing plane in crates/telemetry/src/timing.rs
+//! is the only non-bench code allowed to read these clocks.
+
+pub fn sneaky_monotonic() -> u128 {
+    Instant::now().elapsed().as_micros()
+}
+
+pub fn sneaky_wall() -> SystemTime {
+    SystemTime::now()
+}

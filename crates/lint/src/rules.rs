@@ -49,9 +49,19 @@ pub const RULES: &[Rule] = &[
     Rule {
         name: "clock-ban",
         rationale: "wall-clock reads break replay byte-identity; simulated time comes from \
-                    i2p_data::time and bench timing lives in crates/bench",
-        tokens: &["std::time", "Instant::now", "SystemTime::now"],
-        approved: &["crates/bench/"],
+                    i2p_data::time, bench timing lives in crates/bench, and the telemetry \
+                    timing plane is confined to crates/telemetry/src/timing.rs",
+        tokens: &["std::time"],
+        approved: &["crates/bench/", "crates/telemetry/src/timing.rs"],
+        detector: Detector::Tokens,
+    },
+    Rule {
+        name: "wall-clock-outside-telemetry",
+        rationale: "Instant/SystemTime reads outside the segregated timing plane leak machine \
+                    speed into results; record durations through i2p_telemetry::span/tally \
+                    (excluded from golden and replay comparisons) instead",
+        tokens: &["Instant::now", "SystemTime"],
+        approved: &["crates/telemetry/src/timing.rs", "crates/bench/"],
         detector: Detector::Tokens,
     },
     Rule {
@@ -93,7 +103,13 @@ pub const RULES: &[Rule] = &[
                     machine, not the seed; IO belongs to i2p-store, the CLI entrypoints, and \
                     the env-knob readers",
         tokens: &["std::fs", "std::net", "std::env", "std::process", "std::io::stdin"],
-        approved: &["crates/store/src/", "src/cli.rs", "src/bin/", "crates/lint/src/"],
+        approved: &[
+            "crates/store/src/",
+            "src/cli.rs",
+            "src/bin/",
+            "crates/lint/src/",
+            "crates/telemetry/src/rss.rs",
+        ],
         detector: Detector::Tokens,
     },
     Rule {

@@ -127,6 +127,7 @@ impl<'w> HarvestEngine<'w> {
         days: Range<u64>,
         model: &VisibilityModel,
     ) -> Self {
+        let _span = i2p_telemetry::span("measure.engine_fill");
         let day_ids: Vec<Cow<'w, [u32]>> = days
             .clone()
             .map(|d| match world.online_ids(d) {
@@ -225,6 +226,13 @@ impl<'w> HarvestEngine<'w> {
                 }
             }
         }
+        // Post-gate sighting total: a popcount pass over the filled
+        // lanes is cheap next to the draws and, like every counter in
+        // the deterministic plane, independent of chunking and thread
+        // count (the lanes themselves are bit-identical).
+        let sightings: u64 =
+            lanes.iter().flat_map(|lane| lane.iter()).map(|w| u64::from(w.count_ones())).sum();
+        i2p_telemetry::count(i2p_telemetry::Counter::RoutersHarvested, sightings);
         HarvestEngine { world, vantages, days, day_ids, day_words, day_off, lanes }
     }
 
@@ -273,6 +281,10 @@ impl<'w> HarvestEngine<'w> {
         let di = self.di(day);
         let base = self.day_off[di];
         let k = k.min(self.vantages.len());
+        i2p_telemetry::count(
+            i2p_telemetry::Counter::BitsetWordsOr,
+            (self.day_words[di] * k) as u64,
+        );
         let mut count = 0usize;
         for j in base..base + self.day_words[di] {
             let mut acc = 0u64;
@@ -293,6 +305,10 @@ impl<'w> HarvestEngine<'w> {
     pub fn count_union_subset(&self, day: u64, vantages: &[usize]) -> usize {
         let di = self.di(day);
         let base = self.day_off[di];
+        i2p_telemetry::count(
+            i2p_telemetry::Counter::BitsetWordsOr,
+            (self.day_words[di] * vantages.len()) as u64,
+        );
         let mut count = 0usize;
         for j in base..base + self.day_words[di] {
             let mut acc = 0u64;
@@ -309,6 +325,10 @@ impl<'w> HarvestEngine<'w> {
     /// lanes instead of `k` independent re-harvests.
     pub fn coverage_curve(&self, day: u64) -> Vec<usize> {
         let di = self.di(day);
+        i2p_telemetry::count(
+            i2p_telemetry::Counter::BitsetWordsOr,
+            (self.day_words[di] * self.vantages.len()) as u64,
+        );
         let mut acc = vec![0u64; self.day_words[di]];
         let mut curve = Vec::with_capacity(self.vantages.len());
         for v in 0..self.vantages.len() {
@@ -326,6 +346,10 @@ impl<'w> HarvestEngine<'w> {
     /// The union bitset of the first `k` vantages on `day`.
     fn union_words(&self, day: u64, k: usize) -> Vec<u64> {
         let di = self.di(day);
+        i2p_telemetry::count(
+            i2p_telemetry::Counter::BitsetWordsOr,
+            (self.day_words[di] * k.min(self.vantages.len())) as u64,
+        );
         let mut acc = vec![0u64; self.day_words[di]];
         for v in 0..k.min(self.vantages.len()) {
             for (a, w) in acc.iter_mut().zip(self.lane(v, di)) {
@@ -433,6 +457,9 @@ fn fill_lane_chunk(
     for di in chunk {
         let day = first_day + di as u64;
         let ids: &[u32] = &day_ids[di];
+        // Counted per (vantage, day), never per worker chunk, so the
+        // total is invariant under the chunking chosen above.
+        i2p_telemetry::count(i2p_telemetry::Counter::HarvestDraws, ids.len() as u64);
         let lane = &mut out[base..base + day_words[di]];
         for (i, &id) in ids.iter().enumerate() {
             // Ids come from the day index, so the peer is online by

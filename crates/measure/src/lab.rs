@@ -38,6 +38,10 @@ where
     R: Send,
     F: Fn(&S, &P, usize) -> R + Sync,
 {
+    let _span = i2p_telemetry::span("measure.sweep");
+    // Counted once per grid, not per worker claim, so the total never
+    // depends on how the atomic counter interleaved.
+    i2p_telemetry::count(i2p_telemetry::Counter::SweepCells, scenarios.len() as u64);
     let threads = if threads == 0 { default_threads() } else { threads };
     let threads = threads.min(scenarios.len().max(1));
     if threads <= 1 {

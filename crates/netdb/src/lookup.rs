@@ -128,6 +128,7 @@ impl IterativeLookup {
             out.push(c);
         }
         self.total_queries += out.len() as u64;
+        i2p_telemetry::count(i2p_telemetry::Counter::LookupQueries, out.len() as u64);
         out
     }
 
@@ -142,11 +143,13 @@ impl IterativeLookup {
         if self.found {
             return Vec::new();
         }
+        let _tally = i2p_telemetry::tally("netdb.lookup_step");
         let mut out = Vec::new();
         while out.len() < ALPHA && !self.retry_queue.is_empty() {
             let (peer, attempt) = self.retry_queue.remove(0);
             self.retries += 1;
             self.total_queries += 1;
+            i2p_telemetry::count_one(i2p_telemetry::Counter::LookupRetries);
             self.register_pending(peer, attempt, now);
             out.push(peer);
         }
@@ -164,6 +167,7 @@ impl IterativeLookup {
             self.register_pending(c, 0, now);
             out.push(c);
         }
+        i2p_telemetry::count(i2p_telemetry::Counter::LookupQueries, out.len() as u64);
         out
     }
 

@@ -73,6 +73,7 @@ impl Snapshot {
     /// every observation record in its day range, plus a signed
     /// RouterInfo wire record per sighting row.
     pub fn capture(engine: &HarvestEngine<'_>) -> Snapshot {
+        let _span = i2p_telemetry::span("store.capture");
         let world = engine.world();
         let vantages = engine.vantages().to_vec();
         let span = engine.days();
@@ -134,13 +135,21 @@ impl Snapshot {
 
     /// Serializes to the versioned, checksummed wire format.
     pub fn to_bytes(&self) -> Vec<u8> {
-        crate::wire::encode(self)
+        let _span = i2p_telemetry::span("store.encode");
+        let bytes = crate::wire::encode(self);
+        i2p_telemetry::count(i2p_telemetry::Counter::SegmentsEncoded, self.days.len() as u64);
+        i2p_telemetry::count(i2p_telemetry::Counter::StoreBytesWritten, bytes.len() as u64);
+        bytes
     }
 
     /// Parses and validates a snapshot (magic, version, every segment
     /// checksum, the trailer checksum, and table consistency).
     pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, StoreError> {
-        crate::wire::decode(bytes)
+        let _span = i2p_telemetry::span("store.decode");
+        let snapshot = crate::wire::decode(bytes)?;
+        i2p_telemetry::count(i2p_telemetry::Counter::SegmentsDecoded, snapshot.days.len() as u64);
+        i2p_telemetry::count(i2p_telemetry::Counter::StoreBytesRead, bytes.len() as u64);
+        Ok(snapshot)
     }
 
     /// Writes the snapshot to `path` atomically: the destination either
@@ -170,6 +179,7 @@ impl Snapshot {
         faults: &FaultPlane,
     ) -> Result<(), StoreError> {
         use std::io::Write as _;
+        let _span = i2p_telemetry::span("store.write");
         let path = path.as_ref();
         let bytes = self.to_bytes();
         let tmp = tmp_path(path);
@@ -207,6 +217,7 @@ impl Snapshot {
 
     /// Reads and validates a snapshot from `path`.
     pub fn read_from(path: impl AsRef<Path>) -> Result<Snapshot, StoreError> {
+        let _span = i2p_telemetry::span("store.read");
         Snapshot::from_bytes(&std::fs::read(path)?)
     }
 
@@ -216,7 +227,12 @@ impl Snapshot {
     /// [`Snapshot::from_bytes`] would. Only prelude damage (magic,
     /// version, header) is unrecoverable.
     pub fn from_bytes_recover(bytes: &[u8]) -> Result<(Snapshot, RecoveryReport), StoreError> {
-        crate::wire::decode_recover(bytes)
+        let _span = i2p_telemetry::span("store.recover");
+        let (snapshot, report) = crate::wire::decode_recover(bytes)?;
+        i2p_telemetry::count(i2p_telemetry::Counter::SegmentsDecoded, snapshot.days.len() as u64);
+        i2p_telemetry::count(i2p_telemetry::Counter::StoreBytesRead, bytes.len() as u64);
+        i2p_telemetry::count_one(i2p_telemetry::Counter::SnapshotsRecovered);
+        Ok((snapshot, report))
     }
 
     /// [`Snapshot::from_bytes_recover`] from a file.
@@ -251,6 +267,7 @@ impl Snapshot {
     /// introducers, publication day, canonical caps). Returns the number
     /// of verified records.
     pub fn verify_router_infos(&self) -> Result<usize, StoreError> {
+        let _span = i2p_telemetry::span("store.verify");
         let mut verified = 0usize;
         for seg in &self.days {
             for (obs, bytes) in seg.observations.iter().zip(&seg.router_infos) {
@@ -282,6 +299,7 @@ impl Snapshot {
                 verified += 1;
             }
         }
+        i2p_telemetry::count(i2p_telemetry::Counter::RecordsVerified, verified as u64);
         Ok(verified)
     }
 

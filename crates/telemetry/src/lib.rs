@@ -1,0 +1,48 @@
+//! i2p-telemetry: two-plane instrumentation for the i2pscope stack
+//! (DESIGN.md §12).
+//!
+//! The crate splits observability along the determinism boundary:
+//!
+//! * **Deterministic plane** ([`counters`]) — relaxed atomic event
+//!   counters whose totals are bit-stable across thread counts and
+//!   runs. Safe to embed in run manifests that get diffed, safe to
+//!   surface next to audit lines.
+//! * **Timing plane** ([`timing`], [`rss`]) — wall-clock spans, an
+//!   aggregate tally table, and peak-RSS sampling. Machine-dependent
+//!   by nature, excluded from every golden/replay comparison, and the
+//!   only code in the workspace allowed to read `Instant::now` (the
+//!   `wall-clock-outside-telemetry` lint rule enforces this).
+//!
+//! [`manifest`] serializes both planes (plus the run's config knobs)
+//! into a schema-versioned run manifest and an optional Chrome
+//! trace-event export, and re-validates those artifacts via the
+//! dependency-free JSON reader in [`json`].
+//!
+//! Both planes are zero-cost-when-idle: counters are single relaxed
+//! adds, and spans/tallies are inert (no clock read, no allocation)
+//! until [`timing::enable`] is called — which only the CLI's
+//! `--telemetry`/`--trace` flags and the bench harness do. Nothing
+//! here ever changes what instrumented code computes; that neutrality
+//! is pinned by `tests/telemetry.rs` at the workspace root.
+
+#![forbid(unsafe_code)]
+
+pub mod counters;
+pub mod json;
+pub mod manifest;
+pub mod rss;
+pub mod timing;
+
+pub use counters::Counter;
+pub use timing::{enable, enabled, span, tally, Span, Tally};
+
+/// Adds `n` to a deterministic counter. Free-function sugar for the
+/// common call shape `i2p_telemetry::count(Counter::…, n)`.
+pub fn count(counter: Counter, n: u64) {
+    counters::add(counter, n);
+}
+
+/// Adds one to a deterministic counter.
+pub fn count_one(counter: Counter) {
+    counters::inc(counter);
+}

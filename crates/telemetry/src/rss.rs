@@ -1,0 +1,31 @@
+//! Peak-RSS sampling for the run manifest.
+//!
+//! Linux-only by construction: the high-water mark comes from
+//! `/proc/self/status` (`VmHWM`), and every other platform simply
+//! reports `None` — the manifest field is nullable for exactly this
+//! reason. This is the telemetry crate's single filesystem read and
+//! is carried in the io-containment lint rule's approved list; the
+//! value feeds the timing plane only and never any replayed output.
+
+/// The process's peak resident set size in kilobytes, if the
+/// platform exposes it.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches("kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn peak_rss_is_plausible_when_present() {
+        if let Some(kb) = super::peak_rss_kb() {
+            // A running test binary holds at least a few hundred KiB.
+            assert!(kb > 100, "implausible peak RSS: {kb} kB");
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! The timing plane: wall-clock spans, aggregate tallies, and the
+//! phase tree behind the run manifest.
+//!
+//! This module is the **only** place in the workspace allowed to read
+//! the wall clock — the `wall-clock-outside-telemetry` lint rule
+//! (DESIGN.md §12) pins that boundary, with `crates/bench` as the
+//! other reasoned exception. Everything recorded here is explicitly
+//! *outside* the determinism contract: durations vary run to run and
+//! never feed figures, audit lines, captures, or goldens.
+//!
+//! The plane is disabled by default and, while disabled, never reads
+//! the clock at all: [`span`]/[`tally`] return inert guards whose
+//! drop is a no-op. [`enable`] flips one atomic; there is no disable,
+//! because a half-instrumented run would produce a misleading tree.
+//!
+//! Spans form a per-thread stack: a span opened while another is open
+//! on the same thread records it as its parent, which is what turns
+//! the flat record list into the manifest's phase tree. Hot repeated
+//! operations use [`tally`] instead — one `(calls, total_us)` row per
+//! label rather than thousands of tree nodes.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Spans beyond this cap fold into the tally table instead of the
+/// tree; `dropped_spans` in the report says it happened.
+const MAX_SPANS: usize = 16_384;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_SPAN_ID: AtomicU32 = AtomicU32::new(1);
+static NEXT_THREAD_ORD: AtomicU32 = AtomicU32::new(0);
+static PLANE: Mutex<Plane> = Mutex::new(Plane::new());
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ORD: Cell<u32> = const { Cell::new(u32::MAX) };
+}
+
+struct Plane {
+    spans: Vec<SpanRecord>,
+    tallies: BTreeMap<&'static str, TallyAgg>,
+    dropped: u64,
+}
+
+impl Plane {
+    const fn new() -> Self {
+        Plane { spans: Vec::new(), tallies: BTreeMap::new(), dropped: 0 }
+    }
+}
+
+fn lock() -> MutexGuard<'static, Plane> {
+    PLANE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn us(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// A small dense id for the current thread, assigned on first use.
+/// Deliberately not `std::thread::ThreadId`: ordinals keep the trace
+/// export stable-looking and stay clear of the thread-identity lint.
+fn thread_ord() -> u32 {
+    THREAD_ORD.with(|cell| {
+        let mut ord = cell.get();
+        if ord == u32::MAX {
+            ord = NEXT_THREAD_ORD.fetch_add(1, Ordering::Relaxed);
+            cell.set(ord);
+        }
+        ord
+    })
+}
+
+/// Turns the timing plane on for the rest of the process and anchors
+/// the epoch all span timestamps are relative to.
+pub fn enable() {
+    EPOCH.get_or_init(Instant::now);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Whether [`enable`] has been called.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// One closed span, as stored in the plane and rendered into the
+/// manifest's phase tree.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Process-unique id (1-based; 0 is "no parent").
+    pub id: u32,
+    /// Id of the span open on the same thread when this one started.
+    pub parent: u32,
+    /// Static label, `"<crate>.<phase>"` by convention.
+    pub name: &'static str,
+    /// Dense thread ordinal (trace export lane).
+    pub tid: u32,
+    /// Start offset from the enable-time epoch, microseconds.
+    pub start_us: u64,
+    /// Wall-clock duration, microseconds.
+    pub dur_us: u64,
+}
+
+/// Aggregate row for a repeated operation: call count + total time.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct TallyAgg {
+    /// Number of completed [`tally`] guards under this label.
+    pub calls: u64,
+    /// Summed wall-clock duration, microseconds.
+    pub total_us: u64,
+}
+
+/// RAII guard for one phase; the span closes when it drops.
+#[must_use = "a span records nothing unless it is held for the phase's duration"]
+pub struct Span {
+    open: Option<OpenSpan>,
+}
+
+struct OpenSpan {
+    id: u32,
+    parent: u32,
+    name: &'static str,
+    tid: u32,
+    start: Instant,
+}
+
+/// Opens a span named `name` under the span currently open on this
+/// thread (if any). Inert and clock-free while the plane is disabled.
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { open: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied().unwrap_or(0);
+        stack.push(id);
+        parent
+    });
+    Span { open: Some(OpenSpan { id, parent, name, tid: thread_ord(), start: Instant::now() }) }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else { return };
+        let end = Instant::now();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if stack.last() == Some(&open.id) {
+                stack.pop();
+            } else {
+                // Out-of-order drop (e.g. a guard moved into a closure):
+                // excise by id so the stack stays consistent.
+                stack.retain(|&id| id != open.id);
+            }
+        });
+        let start_us = us(open.start.saturating_duration_since(epoch()));
+        let dur_us = us(end.saturating_duration_since(open.start));
+        let mut plane = lock();
+        if plane.spans.len() < MAX_SPANS {
+            plane.spans.push(SpanRecord {
+                id: open.id,
+                parent: open.parent,
+                name: open.name,
+                tid: open.tid,
+                start_us,
+                dur_us,
+            });
+        } else {
+            plane.dropped += 1;
+            let agg = plane.tallies.entry(open.name).or_default();
+            agg.calls += 1;
+            agg.total_us += dur_us;
+        }
+    }
+}
+
+/// RAII guard for one repetition of a hot operation; its duration
+/// lands in the aggregate tally table, not the span tree.
+#[must_use = "a tally records nothing unless it is held for the operation's duration"]
+pub struct Tally {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Starts timing one repetition under the label `name`. Inert and
+/// clock-free while the plane is disabled.
+pub fn tally(name: &'static str) -> Tally {
+    Tally { name, start: enabled().then(Instant::now) }
+}
+
+impl Drop for Tally {
+    fn drop(&mut self) {
+        let Some(start) = self.start.take() else { return };
+        let dur_us = us(start.elapsed());
+        let mut plane = lock();
+        let agg = plane.tallies.entry(self.name).or_default();
+        agg.calls += 1;
+        agg.total_us += dur_us;
+    }
+}
+
+/// Everything the timing plane recorded so far, in a render-stable
+/// order (spans by start offset then id; tallies by label).
+#[derive(Clone, Debug, Default)]
+pub struct TimingReport {
+    /// Closed spans, sorted by `(start_us, id)`.
+    pub spans: Vec<SpanRecord>,
+    /// Aggregate rows, sorted by label.
+    pub tallies: Vec<(&'static str, TallyAgg)>,
+    /// Spans folded into tallies after [`MAX_SPANS`].
+    pub dropped_spans: u64,
+    /// Microseconds from the epoch to the moment of this report
+    /// (zero while the plane is disabled).
+    pub elapsed_us: u64,
+}
+
+/// Snapshots the plane. Cheap enough to call once per run.
+pub fn report() -> TimingReport {
+    let elapsed_us = if enabled() { us(epoch().elapsed()) } else { 0 };
+    let plane = lock();
+    let mut spans = plane.spans.clone();
+    spans.sort_by_key(|s| (s.start_us, s.id));
+    TimingReport {
+        spans,
+        tallies: plane.tallies.iter().map(|(name, agg)| (*name, *agg)).collect(),
+        dropped_spans: plane.dropped,
+        elapsed_us,
+    }
+}
+
+/// Clears recorded spans and tallies (the enabled flag and epoch are
+/// sticky). Meant for test isolation.
+pub fn reset() {
+    let mut plane = lock();
+    plane.spans.clear();
+    plane.tallies.clear();
+    plane.dropped = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plane_records_nothing() {
+        // Runs before any `enable()` in this binary would be racy to
+        // assert globally; instead pin the guard-level contract.
+        let guard = Tally { name: "noop", start: None };
+        drop(guard);
+        let span = Span { open: None };
+        drop(span);
+    }
+
+    #[test]
+    fn enabled_plane_builds_a_parented_tree() {
+        enable();
+        reset();
+        {
+            let _outer = span("test.outer");
+            let _inner = span("test.inner");
+        }
+        let _ = tally("test.op");
+        let report = report();
+        let outer = report.spans.iter().find(|s| s.name == "test.outer");
+        let inner = report.spans.iter().find(|s| s.name == "test.inner");
+        match (outer, inner) {
+            (Some(outer), Some(inner)) => assert_eq!(inner.parent, outer.id),
+            _ => panic!("both spans must be recorded"),
+        }
+        assert!(report.tallies.iter().any(|(name, agg)| *name == "test.op" && agg.calls == 1));
+        assert!(report.elapsed_us > 0 || report.spans.iter().all(|s| s.dur_us == 0));
+    }
+}

@@ -230,6 +230,8 @@ impl Fabric {
     /// [`Fabric::reply_blocked`] reports whether return traffic from a
     /// blocked IP would be dropped.
     pub fn send(&mut self, from_ip: PeerIp, to: Endpoint, size: usize, now: SimTime) -> DeliveryOutcome {
+        let _tally = i2p_telemetry::tally("transport.send");
+        i2p_telemetry::count_one(i2p_telemetry::Counter::MessagesSent);
         let day = now.day();
         let msg_key = self.sends;
         self.sends += 1;

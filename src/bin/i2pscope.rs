@@ -10,10 +10,11 @@
 //!                  [--format text|csv] [knobs]
 //! i2pscope adversary (NAME | --adversary NAME | --list)
 //!                  [--capture FILE] [--format text|csv] [knobs]
+//! i2pscope validate --manifest FILE [--trace FILE] [--counters]
 //!
 //! knobs: --scale F  --seed N  --days N  --fleet N
 //!        --replicates N  --threads N  --model uniform|keyspace
-//!        --faults SPEC
+//!        --faults SPEC  --telemetry FILE  --trace FILE
 //!        (defaults come from the I2PSCOPE_* environment variables)
 //! ```
 
@@ -36,6 +37,12 @@ commands:
   adversary NAME         run a registered adversary (or a '+'-chain,
                          e.g. sybil+censor) through the unified
                          scenario engine; --list prints the catalog
+  validate --manifest FILE
+                         check a telemetry run manifest (and, with
+                         --trace FILE, a Chrome trace) against the
+                         i2p-telemetry/1 schema; --counters prints
+                         the deterministic counter totals instead,
+                         one name=value per line, for diffing runs
 
 options:
   --format text|csv      output format (default text)
@@ -59,6 +66,15 @@ options:
   --faults SPEC          deterministic fault plane, e.g.
                          loss=0.02,ff_crash=0.01,stall=5,outage=0.1
                          (or set I2PSCOPE_FAULTS; default no faults)
+  --telemetry FILE       write a versioned run manifest (counters,
+                         span tree, tallies, peak RSS) after the
+                         command (or set I2PSCOPE_TELEMETRY); the
+                         command's own output is byte-identical
+                         either way
+  --trace FILE           with a run command: also write the timing
+                         plane as Chrome trace events (or set
+                         I2PSCOPE_TRACE); with validate: the trace
+                         file to check
   --scale F --seed N --days N --fleet N --replicates N --threads N
                          override the I2PSCOPE_* environment knobs
 ";
@@ -76,6 +92,10 @@ struct Args {
     adversary: Option<String>,
     list: bool,
     resume: bool,
+    telemetry: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    manifest: Option<PathBuf>,
+    counters: bool,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
@@ -93,6 +113,10 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         adversary: None,
         list: false,
         resume: false,
+        telemetry: None,
+        trace: None,
+        manifest: None,
+        counters: false,
     };
     let mut argv = argv.peekable();
     while let Some(flag) = argv.next() {
@@ -123,6 +147,10 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
                 );
             }
             "--capture" => args.capture = Some(PathBuf::from(value("--capture")?)),
+            "--telemetry" => args.telemetry = Some(PathBuf::from(value("--telemetry")?)),
+            "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
+            "--manifest" => args.manifest = Some(PathBuf::from(value("--manifest")?)),
+            "--counters" => args.counters = true,
             "--adversary" => args.adversary = Some(value("--adversary")?),
             "--list" => args.list = true,
             "--scale" => args.knobs.scale = parse_num(&value("--scale")?, "--scale")?,
@@ -155,11 +183,39 @@ fn run() -> Result<String, String> {
     let mut argv = std::env::args();
     argv.next(); // program name
     let (command, args) = parse_args(argv)?;
-    match command.as_str() {
+    // Telemetry destinations: env knobs first, flags win. `validate`
+    // and `help` never arm the plane — there `--trace` names an input
+    // to check, not an output to write.
+    let telemetry = match command.as_str() {
+        "validate" | "help" | "--help" | "-h" => cli::TelemetryConfig::default(),
+        _ => {
+            let mut cfg = cli::TelemetryConfig::from_env();
+            if args.telemetry.is_some() {
+                cfg.manifest = args.telemetry.clone();
+            }
+            if args.trace.is_some() {
+                cfg.trace = args.trace.clone();
+            }
+            cfg
+        }
+    };
+    telemetry.arm();
+    let out = dispatch(&command, &args)?;
+    // The manifest snapshots counters/spans after the command (plus
+    // the calibration probe); notices go to stderr so stdout stays
+    // byte-identical to an untraced run.
+    for note in telemetry.finish(&command, &args.knobs)? {
+        eprintln!("{note}");
+    }
+    Ok(out)
+}
+
+fn dispatch(command: &str, args: &Args) -> Result<String, String> {
+    match command {
         "census" => Ok(cli::census(&args.knobs, args.format, &args.figs)),
         "harvest" => {
-            let out = args.out.ok_or("harvest needs --out FILE")?;
-            cli::harvest(&args.knobs, &out, args.resume).map_err(|e| e.to_string())
+            let out = args.out.as_ref().ok_or("harvest needs --out FILE")?;
+            cli::harvest(&args.knobs, out, args.resume).map_err(|e| e.to_string())
         }
         "figures" => match (&args.from, args.live) {
             (Some(path), false) => {
@@ -173,7 +229,7 @@ fn run() -> Result<String, String> {
         "sybil" => cli::sybil(
             &args.knobs,
             args.format,
-            args.sybils,
+            args.sybils.clone(),
             args.capture.as_deref(),
         )
         .map_err(|e| e.to_string()),
@@ -181,7 +237,7 @@ fn run() -> Result<String, String> {
             if args.list {
                 return Ok(cli::adversary_catalog());
             }
-            let spec = match args.adversary.or_else(cli::adversary_from_env) {
+            let spec = match args.adversary.clone().or_else(cli::adversary_from_env) {
                 Some(spec) => spec,
                 None => {
                     return Err(format!(
@@ -193,9 +249,40 @@ fn run() -> Result<String, String> {
             };
             cli::adversary(&args.knobs, &spec, args.format, args.capture.as_deref())
         }
+        "validate" => validate(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// `i2pscope validate` — schema-checks a run manifest (and optionally
+/// a Chrome trace) written by `--telemetry`/`--trace`, or dumps the
+/// manifest's deterministic counters for cross-run diffing.
+fn validate(args: &Args) -> Result<String, String> {
+    let path = args.manifest.as_ref().ok_or("validate needs --manifest FILE")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let summary = i2pscope::telemetry::manifest::validate_manifest(&text)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    if args.counters {
+        return Ok(summary.counter_dump());
+    }
+    let mut out = format!(
+        "manifest OK: schema={} command={} counters={} spans={} crates={}\n",
+        summary.schema,
+        summary.command,
+        summary.counters.len(),
+        summary.span_count,
+        summary.crates_covered().join(",")
+    );
+    if let Some(trace) = &args.trace {
+        let text = std::fs::read_to_string(trace)
+            .map_err(|e| format!("reading {}: {e}", trace.display()))?;
+        let events = i2pscope::telemetry::manifest::validate_trace(&text)
+            .map_err(|e| format!("{}: {e}", trace.display()))?;
+        out.push_str(&format!("trace OK: events={events}\n"));
+    }
+    Ok(out)
 }
 
 fn main() -> ExitCode {

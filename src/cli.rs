@@ -208,6 +208,22 @@ impl FigId {
         FigId::Table1,
     ];
 
+    /// The figure's span label in the telemetry timing plane.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            FigId::Fig4 => "measure.render_fig4",
+            FigId::Fig5 => "measure.render_fig5",
+            FigId::Fig6 => "measure.render_fig6",
+            FigId::Fig7 => "measure.render_fig7",
+            FigId::Fig8 => "measure.render_fig8",
+            FigId::Fig9 => "measure.render_fig9",
+            FigId::Fig10 => "measure.render_fig10",
+            FigId::Fig11 => "measure.render_fig11",
+            FigId::Fig12 => "measure.render_fig12",
+            FigId::Table1 => "measure.render_table1",
+        }
+    }
+
     /// Parses a `--fig` selector entry (`"5"`, `"fig5"`, `"table1"`).
     pub fn parse(s: &str) -> Result<FigId, String> {
         let key = s.trim().to_ascii_lowercase();
@@ -277,6 +293,12 @@ fn render_figure_blocks(src: &dyn SnapshotSource, format: Format, figs: &[FigId]
     let mut census_series = None;
     let mut ip_report = None;
     for fig in figs {
+        // Telemetry is observation only: the span times the render and
+        // the counter tallies it; neither can touch `block`, which is
+        // what keeps `--telemetry` renders byte-identical to plain ones
+        // (pinned by tests/telemetry.rs).
+        let _span = i2p_telemetry::span(fig.span_name());
+        i2p_telemetry::count_one(i2p_telemetry::Counter::FigureRenders);
         let block = match fig {
             FigId::Fig4 => {
                 let curve = population::cumulative_by_router_count_from(src, span.clone());
@@ -674,4 +696,103 @@ pub fn adversary(
         );
     }
     Ok(out)
+}
+
+// ------------------------------------------------------------- telemetry
+
+/// Where a run's telemetry goes, resolved from the `--telemetry` /
+/// `--trace` flags or the `I2PSCOPE_TELEMETRY` / `I2PSCOPE_TRACE`
+/// environment knobs (flags win). Both outputs sit entirely outside
+/// the deterministic plane: stdout, figures, CSVs and `.i2ps` archives
+/// stay byte-identical whether telemetry is on or off.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryConfig {
+    /// Run-manifest destination (`--telemetry FILE`).
+    pub manifest: Option<std::path::PathBuf>,
+    /// Chrome trace-event destination (`--trace FILE`).
+    pub trace: Option<std::path::PathBuf>,
+}
+
+impl TelemetryConfig {
+    /// Resolves both destinations from the environment.
+    pub fn from_env() -> Self {
+        TelemetryConfig {
+            manifest: std::env::var("I2PSCOPE_TELEMETRY").ok().map(std::path::PathBuf::from),
+            trace: std::env::var("I2PSCOPE_TRACE").ok().map(std::path::PathBuf::from),
+        }
+    }
+
+    /// True when any telemetry output was requested.
+    pub fn requested(&self) -> bool {
+        self.manifest.is_some() || self.trace.is_some()
+    }
+
+    /// Arms the timing plane if any output was requested; must run
+    /// before the command so spans cover it end to end. Counters are
+    /// always on (they are deterministic), so this only gates clocks.
+    pub fn arm(&self) {
+        if self.requested() {
+            i2p_telemetry::enable();
+        }
+    }
+
+    /// Runs the calibration probe, then writes the requested files.
+    /// Returns one notice line per file written — the binary prints
+    /// them to **stderr**, keeping stdout identical to an untraced run.
+    pub fn finish(&self, command: &str, knobs: &Knobs) -> Result<Vec<String>, String> {
+        if !self.requested() {
+            return Ok(Vec::new());
+        }
+        crate::probe::calibrate();
+        let mut notes = Vec::new();
+        if let Some(path) = &self.manifest {
+            std::fs::write(path, telemetry_manifest(command, knobs))
+                .map_err(|e| format!("writing telemetry manifest {}: {e}", path.display()))?;
+            notes.push(format!("telemetry: run manifest written to {}", path.display()));
+        }
+        if let Some(path) = &self.trace {
+            std::fs::write(path, telemetry_trace())
+                .map_err(|e| format!("writing chrome trace {}: {e}", path.display()))?;
+            notes.push(format!("telemetry: chrome trace written to {}", path.display()));
+        }
+        Ok(notes)
+    }
+}
+
+/// The knob echo archived in every run manifest — the same facts the
+/// audit line prints, as explicit string pairs.
+pub fn knob_pairs(knobs: &Knobs) -> Vec<(String, String)> {
+    vec![
+        ("seed".to_string(), knobs.seed.to_string()),
+        ("scale".to_string(), knobs.scale.to_string()),
+        ("days".to_string(), knobs.days.to_string()),
+        ("fleet".to_string(), knobs.fleet.to_string()),
+        ("replicates".to_string(), knobs.replicates.to_string()),
+        ("threads".to_string(), knobs.threads.to_string()),
+        ("model".to_string(), knobs.model.name().to_string()),
+        ("faults".to_string(), knobs.faults.to_string()),
+    ]
+}
+
+/// The versioned run manifest for the current process state: counter
+/// totals (including every fault-plane lane, so a `harvest --resume`
+/// recovery or a degraded render carries its injected-fault tallies),
+/// the span tree, hot-path tallies, and peak RSS.
+pub fn telemetry_manifest(command: &str, knobs: &Knobs) -> String {
+    let run = i2p_telemetry::manifest::RunInfo {
+        command: command.to_string(),
+        knobs: knob_pairs(knobs),
+    };
+    i2p_telemetry::manifest::manifest_json(
+        &run,
+        &i2p_telemetry::counters::snapshot(),
+        &i2p_telemetry::timing::report(),
+        i2p_telemetry::rss::peak_rss_kb(),
+    )
+}
+
+/// The Chrome trace-event export (`chrome://tracing` / Perfetto) of
+/// the same timing plane the manifest archives.
+pub fn telemetry_trace() -> String {
+    i2p_telemetry::manifest::chrome_trace_json(&i2p_telemetry::timing::report())
 }

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cli;
+pub mod probe;
 
 pub use i2p_crypto as crypto;
 pub use i2p_data as data;
@@ -28,5 +29,6 @@ pub use i2p_netdb as netdb;
 pub use i2p_router as router;
 pub use i2p_sim as sim;
 pub use i2p_store as store;
+pub use i2p_telemetry as telemetry;
 pub use i2p_transport as transport;
 pub use i2p_tunnel as tunnel;

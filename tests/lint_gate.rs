@@ -75,6 +75,7 @@ fn report_is_byte_stable_across_runs() {
 fn every_rule_class_fires_in_its_fixture() {
     let report = fixture_report();
     assert_eq!(rules_hit(&report, "clock_ban"), ["clock-ban"]);
+    assert_eq!(rules_hit(&report, "wall_clock"), ["wall-clock-outside-telemetry"]);
     assert_eq!(rules_hit(&report, "nondet_hash"), ["nondet-hash"]);
     assert_eq!(rules_hit(&report, "rng_containment"), ["rng-containment"]);
     assert_eq!(rules_hit(&report, "io_containment"), ["io-containment"]);

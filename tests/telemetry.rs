@@ -1,0 +1,134 @@
+//! Telemetry neutrality and manifest-contract tests.
+//!
+//! The telemetry plane's whole value rests on two claims, pinned here:
+//!
+//! 1. **Neutrality** — enabling telemetry changes *no byte* of any
+//!    deterministic output: figures (text and CSV), audit lines, and
+//!    `.i2ps` snapshot encodings are identical with the timing plane
+//!    on or off. (The timing plane is the only part that reads clocks;
+//!    counters are always on and never feed back into results.)
+//! 2. **Thread invariance** — the deterministic counters are sums of
+//!    per-work-item contributions, so a run at 1 thread and a run at
+//!    N threads produce byte-equal counter totals.
+//!
+//! Plus the manifest contract: after the calibration probe, a run
+//! manifest validates against the `i2p-telemetry/1` schema and its
+//! span tree covers the four core crates (measure, store, netdb,
+//! transport), and the Chrome trace export parses.
+//!
+//! Note on globals: `timing::enable()` is process-wide and sticky, so
+//! every on-vs-off comparison renders its "off" output *first* within
+//! one test, and counter tests take deltas under
+//! `counters::exclusive` (the suite runs multi-threaded).
+
+use i2p_faults::FaultSpec;
+use i2pscope::cli::{self, FigId, Format, Knobs, Model};
+use i2pscope::telemetry::{counters, manifest, timing};
+use i2pscope::{probe, store::Snapshot};
+
+fn knobs(threads: usize) -> Knobs {
+    Knobs {
+        scale: 0.01,
+        seed: 77,
+        days: 3,
+        fleet: 4,
+        replicates: 1,
+        threads,
+        model: Model::Uniform,
+        faults: FaultSpec::default(),
+    }
+}
+
+#[test]
+fn figures_and_audit_are_byte_identical_with_telemetry_on() {
+    let k = knobs(0);
+    // "Off" renders first: enable() is sticky, so order matters.
+    let text_off = cli::figures_live_audited(&k, Format::Text, &FigId::ALL);
+    let csv_off = cli::figures_live_audited(&k, Format::Csv, &FigId::ALL);
+    timing::enable();
+    let text_on = cli::figures_live_audited(&k, Format::Text, &FigId::ALL);
+    let csv_on = cli::figures_live_audited(&k, Format::Csv, &FigId::ALL);
+    assert_eq!(text_off, text_on, "text figures drift when telemetry is enabled");
+    assert_eq!(csv_off, csv_on, "CSV figures drift when telemetry is enabled");
+}
+
+#[test]
+fn snapshot_encoding_is_byte_identical_with_telemetry_on() {
+    let k = knobs(0);
+    let world = k.world();
+    let fleet = k.fleet();
+    let engine = i2pscope::measure::engine::HarvestEngine::build(&world, &fleet, 0..k.days);
+    let bytes_off = Snapshot::capture(&engine).to_bytes();
+    timing::enable();
+    let engine = i2pscope::measure::engine::HarvestEngine::build(&world, &fleet, 0..k.days);
+    let bytes_on = Snapshot::capture(&engine).to_bytes();
+    assert_eq!(bytes_off, bytes_on, ".i2ps encoding drifts when telemetry is enabled");
+    // And the archive round-trips regardless of the plane's state.
+    let decoded = Snapshot::from_bytes(&bytes_on).expect("decode");
+    assert!(decoded.verify_router_infos().expect("verify") > 0);
+}
+
+#[test]
+fn counters_are_byte_equal_across_thread_counts() {
+    let k1 = knobs(1);
+    let k7 = knobs(7);
+    let (delta_one, out_one) =
+        counters::exclusive(|| cli::adversary(&k1, "censor", Format::Text, None));
+    let (delta_many, out_many) =
+        counters::exclusive(|| cli::adversary(&k7, "censor", Format::Text, None));
+    assert_eq!(out_one.expect("run"), out_many.expect("run"));
+    for ((name, one), (_, many)) in delta_one.entries().zip(delta_many.entries()) {
+        assert_eq!(one, many, "counter {name} varies with thread count");
+    }
+    assert!(delta_one.total() > 0, "the adversary run moved no counters");
+}
+
+#[test]
+fn sweep_counters_are_thread_invariant_and_count_cells() {
+    let (delta_one, _) = counters::exclusive(|| cli::sweep(&knobs(1), Format::Text));
+    let (delta_two, _) = counters::exclusive(|| cli::sweep(&knobs(2), Format::Text));
+    let cells = delta_one.get(counters::Counter::SweepCells);
+    assert!(cells > 0, "the usability sweep recorded no cells");
+    assert_eq!(cells, delta_two.get(counters::Counter::SweepCells));
+}
+
+#[test]
+fn manifest_validates_and_covers_the_four_core_crates() {
+    timing::enable();
+    let k = knobs(0);
+    // A figures run plus the calibration probe — exactly what the
+    // binary does for `i2pscope figures --telemetry`.
+    let _ = cli::figures_live(&k, Format::Text, &[FigId::Fig4]);
+    probe::calibrate();
+    let text = cli::telemetry_manifest("figures", &k);
+    let summary = manifest::validate_manifest(&text).expect("manifest validates");
+    assert_eq!(summary.schema, "i2p-telemetry/1");
+    assert_eq!(summary.command, "figures");
+    let covered = summary.crates_covered();
+    for needed in ["measure", "store", "netdb", "transport"] {
+        assert!(covered.iter().any(|c| c == needed), "span tree misses {needed}: {covered:?}");
+    }
+    assert!(summary.span_count >= 4, "span tree too small: {}", summary.span_count);
+    // Every counter the manifest archives must echo u64 lexemes; the
+    // knob echo must include the fault spec (degraded runs carry their
+    // fault totals and their spec side by side).
+    assert!(summary.knobs.iter().any(|(k, _)| k == "faults"));
+    let trace = cli::telemetry_trace();
+    let events = manifest::validate_trace(&trace).expect("trace parses");
+    assert!(events >= 4, "trace too small: {events}");
+}
+
+#[test]
+fn counter_dump_diffs_cleanly() {
+    timing::enable();
+    let k = knobs(0);
+    let text = cli::telemetry_manifest("census", &k);
+    let summary = manifest::validate_manifest(&text).expect("manifest validates");
+    let dump = summary.counter_dump();
+    assert_eq!(dump.lines().count(), summary.counters.len());
+    for line in dump.lines() {
+        let (name, value) = line.split_once('=').expect("name=value");
+        assert!(!name.is_empty());
+        assert!(value.bytes().all(|b| b.is_ascii_digit()), "non-integer counter {line}");
+    }
+}

@@ -13,7 +13,19 @@
 #![warn(missing_docs)]
 
 use std::hint::black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Every `(name, ns_per_iter)` measured by [`Criterion::bench_function`]
+/// so far, in registration order. Drained by [`take_results`].
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Drains the measurements recorded since the last call (process-wide),
+/// so a bench `main` can fold them into a machine-readable artifact
+/// after its `criterion_group!` functions have run.
+pub fn take_results() -> Vec<(String, f64)> {
+    std::mem::take(&mut *RESULTS.lock().unwrap_or_else(|e| e.into_inner()))
+}
 
 /// How `iter_batched` amortises setup cost. The shim times the routine
 /// per call either way; the variants exist for API compatibility.
@@ -102,6 +114,10 @@ impl Criterion {
     {
         let mut b = Bencher { ns_per_iter: f64::NAN };
         routine(&mut b);
+        RESULTS
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((name.to_string(), b.ns_per_iter));
         if b.ns_per_iter >= 1_000_000.0 {
             println!("{name:<40} {:>12.3} ms/iter", b.ns_per_iter / 1_000_000.0);
         } else {
