@@ -33,7 +33,7 @@ fn headline(_c: &mut Criterion) {
     // Prepare the archive once (not part of either timed path).
     let world = World::generate(cfg);
     let engine = HarvestEngine::build(&world, &fleet, 0..DAYS);
-    let bytes = Snapshot::capture(&engine).to_bytes();
+    let bytes = Snapshot::capture(&engine).to_bytes().expect("encode");
     eprintln!(
         "[micro_store] archive: {} bytes, {} rows, scale {}",
         bytes.len(),
@@ -91,7 +91,7 @@ fn bench_primitives(c: &mut Criterion) {
     let fleet = Fleet::alternating(6);
     let engine = HarvestEngine::build(&world, &fleet, 0..4);
     let snapshot = Snapshot::capture(&engine);
-    let bytes = snapshot.to_bytes();
+    let bytes = snapshot.to_bytes().expect("encode");
 
     c.bench_function("store_capture_6v_4d", |b| {
         b.iter(|| Snapshot::capture(black_box(&engine)))

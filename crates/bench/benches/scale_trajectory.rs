@@ -1,0 +1,72 @@
+//! The scale trajectory: world generation, sharded engine fill, and
+//! the full figure suite timed at each scale tier — 0.1 (quick), 1
+//! (the paper-scale fast default, ≈180 K routers), and the 1M stress
+//! tier (scale 6.0 ≈ 1.08 M routers, enabled with `I2PSCOPE_STRESS=1`
+//! so routine bench runs stay cheap). The committed `BENCH_scale.json`
+//! carries the three-tier trajectory: per-tier wall clocks, the
+//! process peak-RSS high-water after each tier, and the deterministic
+//! shard ledger (`measure.engine_shard_units` /
+//! `measure.engine_shard_blocks`) that accounts for the work.
+
+use i2p_measure::engine::HarvestEngine;
+use i2p_measure::fleet::Fleet;
+use i2p_sim::world::{World, WorldConfig};
+use i2pscope::cli::{self, env_parse, FigId, Format};
+use std::time::Instant;
+
+/// Days per tier: enough for every figure family to render (churn,
+/// windows, coverage) while keeping the stress tier's footprint at
+/// "largest day", not "whole study".
+const TIER_DAYS: u64 = 3;
+
+/// Vantages per tier — matches the scale-parity suite.
+const TIER_FLEET: usize = 4;
+
+fn run_tier(report: &mut i2p_bench::BenchReport, label: &str, scale: f64) {
+    let seed = i2p_bench::seed();
+    let t = Instant::now();
+    let world = World::generate(WorldConfig { days: TIER_DAYS, scale, seed });
+    report.record_wall_s(&format!("{label}/world_gen"), t.elapsed().as_secs_f64());
+    report.knob(&format!("{label}/total_peers"), world.total_peers());
+    report.knob(&format!("{label}/online_day0"), world.online_count(0));
+    report.knob(&format!("{label}/id_shards"), world.index.shard_count());
+
+    let fleet = Fleet::alternating(TIER_FLEET);
+    let t = Instant::now();
+    let engine = HarvestEngine::build(&world, &fleet, 0..TIER_DAYS);
+    report.record_wall_s(&format!("{label}/engine_fill"), t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    let text = cli::render_figures(&engine, Format::Text, &FigId::ALL);
+    report.record_wall_s(&format!("{label}/figure_suite"), t.elapsed().as_secs_f64());
+    println!(
+        "[i2p-bench] {label}: {} routers total, {} online day 0, {} id shards, {} figure bytes",
+        world.total_peers(),
+        world.online_count(0),
+        world.index.shard_count(),
+        text.len()
+    );
+
+    // VmHWM is a monotone high-water mark, so the value recorded after
+    // a tier is that tier's peak (tiers run smallest to largest).
+    if let Some(kb) = i2p_telemetry::rss::peak_rss_kb() {
+        report.knob(&format!("{label}/peak_rss_kb"), kb);
+    }
+}
+
+fn main() {
+    let mut report = i2p_bench::report("scale");
+    let stress = env_parse("I2PSCOPE_STRESS", 0u64) != 0;
+    report.knob("tier_days", TIER_DAYS);
+    report.knob("tier_fleet", TIER_FLEET);
+    report.knob("stress_tier", stress);
+
+    run_tier(&mut report, "tier_0.1", 0.1);
+    run_tier(&mut report, "tier_1", 1.0);
+    if stress {
+        run_tier(&mut report, "tier_1M", 6.0);
+    } else {
+        println!("[i2p-bench] stress tier skipped (set I2PSCOPE_STRESS=1 for the ~1.08M-router run)");
+    }
+    report.write();
+}

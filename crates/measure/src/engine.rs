@@ -11,18 +11,35 @@
 //! popcount. Fig. 4's 40-prefix coverage curve becomes one cumulative-OR
 //! pass; Fig. 13's (routers × windows) blacklist matrix reuses one fill.
 //!
-//! Two further cost levers:
+//! Three further cost levers:
 //!
 //! * **Day-invariant caching.** A pair's sighting probability (one
 //!   `exp`) and the persistent component of its daily draw are constant
 //!   across days; the fill computes both once per (vantage, peer) and
 //!   replays only the cheap daily part ([`Vantage::draw_against`]).
-//! * **Parallel fill.** Lanes are filled by `std::thread::scope` tasks,
-//!   one per (vantage, contiguous day chunk). Each draw is a pure
-//!   function of (vantage salt, peer seed, day) and each task writes a
-//!   disjoint slice, so the result is bit-identical to the sequential
-//!   path regardless of thread count or chunking — the parity suite in
-//!   `tests/parity.rs` holds the engine to the naive oracle.
+//! * **Sharded, work-stealing fill.** The fill is cut along the
+//!   [`DayIndex`](i2p_sim::world::DayIndex) shard plane into
+//!   (vantage, id-range shard) units covering every day, pulled from a
+//!   shared atomic queue by `std::thread::scope` workers (the same
+//!   pattern as [`crate::lab::sweep`]). Each draw is a pure function of
+//!   (vantage salt, peer seed, day), each unit sets a disjoint *bit*
+//!   set, and words shared by neighboring shards merge through
+//!   commutative atomic ORs — so the lanes are bit-identical at any
+//!   worker count or claim order, and the per-unit caches shrink from
+//!   O(population) to O(shard). The parity suite in `tests/parity.rs`
+//!   holds the engine to the naive oracle and to
+//!   [`HarvestEngine::build_oracle`], the retained unsharded reference
+//!   fill.
+//! * **Streaming queries.** Union/coverage queries walk the lanes in
+//!   fixed-width word blocks ([`STREAM_WORDS`]) with an O(block)
+//!   accumulator, so figure computation never materializes a full-day
+//!   (let alone full-world) bitset.
+//!
+//! The fill worker count honors the `I2PSCOPE_THREADS` knob (0 or
+//! unset = one per core; malformed values panic, like every knob) and
+//! is logged through the telemetry *timing* plane's gauge table —
+//! deliberately not the counter plane, whose totals CI byte-diffs
+//! across thread counts.
 //!
 //! Full [`ObservedRouterInfo`] records are materialized lazily — only
 //! when an analysis needs fields beyond set membership (caps, addresses,
@@ -34,9 +51,18 @@ use crate::keyspace::{self, VisibilityModel};
 use crate::observed::ObservedRouterInfo;
 use i2p_data::FxHashMap;
 use i2p_sim::peer::PeerRecord;
-use i2p_sim::world::World;
+use i2p_sim::world::{DayIndex, World};
 use std::borrow::Cow;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Id-range width of one fill shard, shared with the world's
+/// [`DayIndex`] shard plane.
+const SHARD_IDS: usize = DayIndex::SHARD_WIDTH as usize;
+
+/// Words per streaming query block: 512 words = 32 K bit positions =
+/// 4 KiB of accumulator, the query path's whole peak allocation.
+const STREAM_WORDS: usize = 1 << 9;
 
 /// The precomputed sighting matrix for one fleet over a day range.
 pub struct HarvestEngine<'w> {
@@ -120,12 +146,52 @@ impl<'w> HarvestEngine<'w> {
         }
     }
 
+    /// The unsharded reference fill: one sequential pass per vantage
+    /// with population-sized caches, exactly the pre-shard engine. Kept
+    /// as the parity oracle — `tests/scale_parity.rs` renders the full
+    /// figure suite through both paths and diffs the bytes.
+    pub fn build_oracle(
+        world: &'w World,
+        fleet: &Fleet,
+        days: Range<u64>,
+        model: &VisibilityModel,
+    ) -> Self {
+        Self::assemble(world, fleet.vantages.clone(), days, model, None)
+    }
+
     /// [`HarvestEngine::build_with`] for an explicit vantage list.
     pub fn with_vantages_model(
         world: &'w World,
         vantages: Vec<Vantage>,
         days: Range<u64>,
         model: &VisibilityModel,
+    ) -> Self {
+        Self::assemble(world, vantages, days, model, Some(fill_threads()))
+    }
+
+    /// [`HarvestEngine::with_vantages_model`] with an explicit fill
+    /// worker count, bypassing the `I2PSCOPE_THREADS` lookup — the
+    /// parity tests use this to pin bit-identity across worker counts
+    /// without racing on process-global environment mutation.
+    pub fn with_vantages_model_threads(
+        world: &'w World,
+        vantages: Vec<Vantage>,
+        days: Range<u64>,
+        model: &VisibilityModel,
+        threads: usize,
+    ) -> Self {
+        Self::assemble(world, vantages, days, model, Some(threads.max(1)))
+    }
+
+    /// Shared fill driver: lays out the day geometry, fills the lanes
+    /// (sharded queue when `fill_workers` is set, sequential oracle
+    /// otherwise), then applies the visibility model's keyspace gates.
+    fn assemble(
+        world: &'w World,
+        vantages: Vec<Vantage>,
+        days: Range<u64>,
+        model: &VisibilityModel,
+        fill_workers: Option<usize>,
     ) -> Self {
         let _span = i2p_telemetry::span("measure.engine_fill");
         let day_ids: Vec<Cow<'w, [u32]>> = days
@@ -144,52 +210,22 @@ impl<'w> HarvestEngine<'w> {
             total_words += w;
             day_off.push(total_words);
         }
-        let mut lanes: Vec<Vec<u64>> = vec![vec![0u64; total_words]; vantages.len().max(1)];
-        lanes.truncate(vantages.len());
 
-        // One fill task per (vantage, day chunk): enough chunks to keep
-        // every core busy, but no smaller — each task re-derives the
-        // day-invariant caches, so larger chunks amortize them better.
-        // On a single core the scope would be pure spawn overhead, so
-        // the lanes fill inline; chunking never changes a bit either
-        // way (each task's draws are pure and its output disjoint).
-        let threads =
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1); // i2plint: allow(thread-identity) -- worker-count choice only; lane fills are bit-identical at any thread count
-        if threads == 1 || vantages.len() <= 1 && n_days <= 1 {
-            for (v, lane) in lanes.iter_mut().enumerate() {
-                fill_lane_chunk(
-                    world, vantages[v], days.start, 0..n_days, &day_ids, &day_words, lane,
-                );
-            }
-        } else {
-            let chunks_per_lane = threads
-                .div_ceil(vantages.len().max(1))
-                .min(n_days.max(1))
-                .max(1);
-            let chunk_len = n_days.div_ceil(chunks_per_lane).max(1);
-            std::thread::scope(|s| {
+        let mut lanes: Vec<Vec<u64>> = match fill_workers {
+            Some(threads) => fill_sharded(
+                world, &vantages, days.start, &day_ids, &day_off, total_words, threads,
+            ),
+            None => {
+                let mut lanes = vec![vec![0u64; total_words]; vantages.len().max(1)];
+                lanes.truncate(vantages.len());
                 for (v, lane) in lanes.iter_mut().enumerate() {
-                    let vantage = vantages[v];
-                    let mut rest: &mut [u64] = lane.as_mut_slice();
-                    let mut start = 0usize;
-                    while start < n_days {
-                        let end = (start + chunk_len).min(n_days);
-                        let words = day_off[end] - day_off[start];
-                        let (head, tail) = rest.split_at_mut(words);
-                        rest = tail;
-                        let day_ids = &day_ids;
-                        let day_words = &day_words;
-                        let first_day = days.start;
-                        s.spawn(move || {
-                            fill_lane_chunk(
-                                world, vantage, first_day, start..end, day_ids, day_words, head,
-                            )
-                        });
-                        start = end;
-                    }
+                    fill_lane_chunk(
+                        world, vantages[v], days.start, 0..n_days, &day_ids, &day_words, lane,
+                    );
                 }
-            });
-        }
+                lanes
+            }
+        };
 
         // Keyspace mode: AND each floodfill vantage's lane with the
         // day's placement gates. The gate masks are a pure function of
@@ -320,43 +356,72 @@ impl<'w> HarvestEngine<'w> {
         count
     }
 
-    /// Fig. 4 in one pass: `curve[k-1]` = peers seen by the first `k`
-    /// vantages on `day`, computed by a single cumulative OR over the
-    /// lanes instead of `k` independent re-harvests.
+    /// Fig. 4 in one streaming pass: `curve[k-1]` = peers seen by the
+    /// first `k` vantages on `day`. The cumulative OR runs block-outer
+    /// — a [`STREAM_WORDS`]-word accumulator is unioned across all
+    /// vantages per block — so peak memory is O(block) regardless of
+    /// how many routers are online, and the popcounts telescope to the
+    /// same totals as a whole-day accumulator would give.
     pub fn coverage_curve(&self, day: u64) -> Vec<usize> {
         let di = self.di(day);
+        let base = self.day_off[di];
+        let words = self.day_words[di];
+        let nv = self.vantages.len();
+        i2p_telemetry::count(i2p_telemetry::Counter::BitsetWordsOr, (words * nv) as u64);
         i2p_telemetry::count(
-            i2p_telemetry::Counter::BitsetWordsOr,
-            (self.day_words[di] * self.vantages.len()) as u64,
+            i2p_telemetry::Counter::EngineShardBlocks,
+            words.div_ceil(STREAM_WORDS) as u64,
         );
-        let mut acc = vec![0u64; self.day_words[di]];
-        let mut curve = Vec::with_capacity(self.vantages.len());
-        for v in 0..self.vantages.len() {
-            let lane = self.lane(v, di);
-            let mut count = 0usize;
-            for (a, w) in acc.iter_mut().zip(lane) {
-                *a |= w;
-                count += a.count_ones() as usize;
+        let mut curve = vec![0usize; nv];
+        let mut acc = [0u64; STREAM_WORDS];
+        let mut start = 0usize;
+        while start < words {
+            let len = STREAM_WORDS.min(words - start);
+            acc[..len].fill(0);
+            for (v, c) in curve.iter_mut().enumerate() {
+                let lane = &self.lanes[v][base + start..base + start + len];
+                for (a, w) in acc[..len].iter_mut().zip(lane) {
+                    *a |= w;
+                    *c += a.count_ones() as usize;
+                }
             }
-            curve.push(count);
+            start += len;
         }
         curve
     }
 
-    /// The union bitset of the first `k` vantages on `day`.
-    fn union_words(&self, day: u64, k: usize) -> Vec<u64> {
+    /// Visits every nonzero word of the union bitset of the first `k`
+    /// vantages on `day` as `(word_index, word)`, streaming the lanes
+    /// in [`STREAM_WORDS`] blocks — the O(block)-memory backbone of
+    /// every set-materializing query below.
+    fn for_each_union_word(&self, day: u64, k: usize, mut f: impl FnMut(usize, u64)) {
         let di = self.di(day);
+        let base = self.day_off[di];
+        let words = self.day_words[di];
+        let k = k.min(self.vantages.len());
+        i2p_telemetry::count(i2p_telemetry::Counter::BitsetWordsOr, (words * k) as u64);
         i2p_telemetry::count(
-            i2p_telemetry::Counter::BitsetWordsOr,
-            (self.day_words[di] * k.min(self.vantages.len())) as u64,
+            i2p_telemetry::Counter::EngineShardBlocks,
+            words.div_ceil(STREAM_WORDS) as u64,
         );
-        let mut acc = vec![0u64; self.day_words[di]];
-        for v in 0..k.min(self.vantages.len()) {
-            for (a, w) in acc.iter_mut().zip(self.lane(v, di)) {
-                *a |= w;
+        let mut acc = [0u64; STREAM_WORDS];
+        let mut start = 0usize;
+        while start < words {
+            let len = STREAM_WORDS.min(words - start);
+            acc[..len].fill(0);
+            for v in 0..k {
+                let lane = &self.lanes[v][base + start..base + start + len];
+                for (a, w) in acc[..len].iter_mut().zip(lane) {
+                    *a |= w;
+                }
             }
+            for (j, &w) in acc[..len].iter().enumerate() {
+                if w != 0 {
+                    f(start + j, w);
+                }
+            }
+            start += len;
         }
-        acc
     }
 
     /// Ids of the peers a single vantage saw on `day`, ascending — the
@@ -372,7 +437,9 @@ impl<'w> HarvestEngine<'w> {
     pub fn union_prefix_ids(&self, day: u64, k: usize) -> Vec<u32> {
         let ids = self.ids(day);
         let mut out = Vec::new();
-        for_each_set_bit(&self.union_words(day, k), |i| out.push(ids[i]));
+        self.for_each_union_word(day, k, |j, word| {
+            for_each_set_bit_in(j, word, |i| out.push(ids[i]));
+        });
         out
     }
 
@@ -381,7 +448,9 @@ impl<'w> HarvestEngine<'w> {
     pub fn for_each_union_peer(&self, day: u64, k: usize, mut f: impl FnMut(&'w PeerRecord)) {
         let ids = self.ids(day);
         let peers = &self.world.peers;
-        for_each_set_bit(&self.union_words(day, k), |i| f(&peers[ids[i] as usize]));
+        self.for_each_union_word(day, k, |j, word| {
+            for_each_set_bit_in(j, word, |i| f(&peers[ids[i] as usize]));
+        });
     }
 
     /// Visits the lazily-materialized observation record of every peer
@@ -429,6 +498,183 @@ impl<'w> HarvestEngine<'w> {
     /// [`Fleet::harvest_window`]).
     pub fn harvest_window(&self, days: Range<u64>) -> Vec<DailyHarvest> {
         days.map(|d| self.harvest_union(d)).collect()
+    }
+}
+
+/// Resolves the engine's fill worker count from the documented
+/// `I2PSCOPE_THREADS` knob. The lanes are bit-identical at any worker
+/// count, so this is pure mechanism; the chosen value is surfaced as
+/// the `measure.engine_workers` timing-plane gauge by the fill driver.
+fn fill_threads() -> usize {
+    let raw = std::env::var("I2PSCOPE_THREADS").ok(); // i2plint: allow(io-containment) -- reads the documented I2PSCOPE_THREADS knob only; the fill output is identical for every value
+    resolve_threads(raw.as_deref())
+}
+
+/// Knob-string → worker count: `None`/`"0"` mean one worker per core,
+/// anything that is not a `usize` aborts loudly (the knob contract,
+/// matching `cli::env_parse`).
+fn resolve_threads(raw: Option<&str>) -> usize {
+    match raw {
+        Some(v) => {
+            let n: usize = v.parse().unwrap_or_else(|_| {
+                panic!("I2PSCOPE_THREADS={v:?} is not a thread count (expected a usize; 0 = one per core)") // i2plint: allow(panic-audit) -- malformed env knobs abort loudly rather than silently falling back, same contract as cli::env_parse
+            });
+            if n == 0 {
+                crate::lab::default_threads()
+            } else {
+                n
+            }
+        }
+        None => crate::lab::default_threads(),
+    }
+}
+
+/// The work-stealing sharded fill: one unit per (vantage, id-range
+/// shard), covering every day of the range, claimed from a shared
+/// atomic counter exactly like [`crate::lab::sweep`]'s grid. Lanes are
+/// `AtomicU64` during the fill because a shard's position range within
+/// a day is not word-aligned — the boundary words are shared with the
+/// neighboring shard's unit and merge through `fetch_or`, which is
+/// commutative, so the result is bit-identical at any worker count or
+/// claim order. `into_inner` then recovers plain `Vec<u64>` lanes with
+/// no copy of the words themselves.
+fn fill_sharded(
+    world: &World,
+    vantages: &[Vantage],
+    first_day: u64,
+    day_ids: &[Cow<'_, [u32]>],
+    day_off: &[usize],
+    total_words: usize,
+    threads: usize,
+) -> Vec<Vec<u64>> {
+    let n_shards = world.index.shard_count();
+    let n_days = day_ids.len();
+    // Per-(day, shard) position bounds, shared by every vantage: row
+    // `di` holds the cumulative cut positions [0, …, online(day)]. In
+    // the study window these come straight from the `DayIndex` shard
+    // plane; past its horizon (owned scan days) the same cuts fall out
+    // of a binary search, since scan results stay id-ascending.
+    let mut cuts: Vec<u32> = Vec::with_capacity(n_days * (n_shards + 1));
+    for (di, ids) in day_ids.iter().enumerate() {
+        let day = first_day + di as u64;
+        cuts.push(0);
+        for s in 0..n_shards {
+            let end = match world.index.shard_bounds(day, s) {
+                Some(r) => r.end as u32,
+                None => {
+                    ids.partition_point(|&id| (id as usize) < (s + 1) * SHARD_IDS) as u32
+                }
+            };
+            cuts.push(end);
+        }
+    }
+
+    let units = vantages.len() * n_shards;
+    // The shard grid is a pure function of (fleet, world) — never of
+    // the worker count — so the unit total lives in the deterministic
+    // counter plane, while the machine-dependent worker choice goes to
+    // the timing plane's gauge table.
+    i2p_telemetry::count(i2p_telemetry::Counter::EngineShardUnits, units as u64);
+    let workers = threads.max(1).min(units.max(1));
+    i2p_telemetry::gauge("measure.engine_workers", workers as u64);
+
+    let lanes_a: Vec<Vec<AtomicU64>> = (0..vantages.len())
+        .map(|_| (0..total_words).map(|_| AtomicU64::new(0)).collect())
+        .collect();
+    let next = AtomicUsize::new(0);
+    let run_worker = || loop {
+        let u = next.fetch_add(1, Ordering::Relaxed);
+        if u >= units {
+            break;
+        }
+        let (v, s) = (u / n_shards, u % n_shards);
+        fill_shard_unit(
+            world, vantages[v], first_day, s, n_shards, day_ids, day_off, &cuts, &lanes_a[v],
+        );
+    };
+    if workers <= 1 || units <= 1 {
+        run_worker();
+    } else {
+        std::thread::scope(|sc| {
+            for _ in 0..workers {
+                sc.spawn(run_worker);
+            }
+        });
+    }
+    lanes_a
+        .into_iter()
+        .map(|lane| lane.into_iter().map(AtomicU64::into_inner).collect())
+        .collect()
+}
+
+/// Fills one (vantage, id-range shard) unit across every day. The
+/// day-invariant caches are shard-local — indexed by `id - shard_base`
+/// and [`SHARD_IDS`] wide — so the fill's per-worker footprint is
+/// O(shard), not O(population): the lever that lets million-router
+/// worlds fill without million-entry scratch per task.
+#[allow(clippy::too_many_arguments)]
+fn fill_shard_unit(
+    world: &World,
+    vantage: Vantage,
+    first_day: u64,
+    shard: usize,
+    n_shards: usize,
+    day_ids: &[Cow<'_, [u32]>],
+    day_off: &[usize],
+    cuts: &[u32],
+    lane: &[AtomicU64],
+) {
+    let shard_base = shard * SHARD_IDS;
+    // Same sentinel scheme as the oracle fill (`p == 0.0` = not yet
+    // cached), shrunk to the shard's id range.
+    let mut seeds = vec![0u64; SHARD_IDS];
+    let mut ps = vec![0.0f64; SHARD_IDS];
+    let mut pers = vec![0u64; SHARD_IDS / 64];
+    for (di, ids) in day_ids.iter().enumerate() {
+        let row = di * (n_shards + 1) + shard;
+        let (a, b) = (cuts[row] as usize, cuts[row + 1] as usize);
+        if a == b {
+            continue;
+        }
+        let day = first_day + di as u64;
+        // Counted per (vantage, day, shard) as the positions drawn; the
+        // per-day totals telescope to `online(day)` per vantage, so the
+        // counter stays invariant under worker count and claim order.
+        i2p_telemetry::count(i2p_telemetry::Counter::HarvestDraws, (b - a) as u64);
+        let day_base = day_off[di];
+        let mut word = a / 64;
+        let mut acc = 0u64;
+        for (pos, &id) in (a..b).zip(&ids[a..b]) {
+            if pos / 64 != word {
+                if acc != 0 {
+                    lane[day_base + word].fetch_or(acc, Ordering::Relaxed);
+                }
+                word = pos / 64;
+                acc = 0;
+            }
+            let iu = id as usize;
+            let ci = iu - shard_base;
+            let mut p = ps[ci];
+            let (seed, pers_hit);
+            if p == 0.0 {
+                let peer = &world.peers[iu];
+                seed = vantage.pair_seed(peer);
+                p = vantage.sight_probability(peer);
+                pers_hit = vantage.persistent_draw(peer) < p;
+                seeds[ci] = seed;
+                ps[ci] = p;
+                pers[ci / 64] |= (pers_hit as u64) << (ci % 64);
+            } else {
+                seed = seeds[ci];
+                pers_hit = (pers[ci / 64] >> (ci % 64)) & 1 == 1;
+            }
+            if vantage.draw_against(seed, day, p, || pers_hit) {
+                acc |= 1u64 << (pos % 64);
+            }
+        }
+        if acc != 0 {
+            lane[day_base + word].fetch_or(acc, Ordering::Relaxed);
+        }
     }
 }
 
@@ -490,12 +736,18 @@ fn fill_lane_chunk(
 /// Calls `f` with the index of every set bit, ascending.
 fn for_each_set_bit(words: &[u64], mut f: impl FnMut(usize)) {
     for (j, &word) in words.iter().enumerate() {
-        let mut w = word;
-        while w != 0 {
-            let bit = w.trailing_zeros() as usize;
-            f(j * 64 + bit);
-            w &= w - 1;
-        }
+        for_each_set_bit_in(j, word, &mut f);
+    }
+}
+
+/// Calls `f` with the bit-position index of every set bit of one word
+/// at word index `j`, ascending.
+fn for_each_set_bit_in(j: usize, word: u64, mut f: impl FnMut(usize)) {
+    let mut w = word;
+    while w != 0 {
+        let bit = w.trailing_zeros() as usize;
+        f(j * 64 + bit);
+        w &= w - 1;
     }
 }
 
@@ -590,5 +842,59 @@ mod tests {
         let w = small_world();
         let engine = HarvestEngine::build(&w, &Fleet::alternating(2), 0..3);
         engine.count_union(5);
+    }
+
+    #[test]
+    fn sharded_fill_is_bit_identical_to_oracle_at_any_worker_count() {
+        // Past-horizon days included so the owned-scan cut path runs too.
+        let w = small_world();
+        let fleet = Fleet::alternating(5);
+        for model in [
+            VisibilityModel::Uniform,
+            VisibilityModel::Keyspace(crate::keyspace::KeyspaceConfig::paper()),
+        ] {
+            let oracle = HarvestEngine::build_oracle(&w, &fleet, 0..10, &model);
+            for threads in [1usize, 2, 3, 7] {
+                let sharded = HarvestEngine::with_vantages_model_threads(
+                    &w,
+                    fleet.vantages.clone(),
+                    0..10,
+                    &model,
+                    threads,
+                );
+                assert_eq!(sharded.lanes, oracle.lanes, "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_queries_span_multiple_blocks() {
+        // A world big enough that one day exceeds STREAM_WORDS * 64
+        // positions, so coverage_curve and the union walks genuinely
+        // cross block boundaries.
+        let w = World::generate(WorldConfig { days: 2, scale: 2.0, seed: 5 });
+        assert!(w.online_ids(0).unwrap().len() > STREAM_WORDS * 64);
+        let fleet = Fleet::alternating(3);
+        let engine = HarvestEngine::build(&w, &fleet, 0..1);
+        let curve = engine.coverage_curve(0);
+        for k in 1..=3 {
+            assert_eq!(curve[k - 1], engine.count_union_prefix(0, k));
+        }
+        let ids = engine.union_prefix_ids(0, 3);
+        assert_eq!(ids.len(), engine.count_union(0));
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "ascending, duplicate-free");
+    }
+
+    #[test]
+    fn thread_knob_resolves_zero_and_explicit_counts() {
+        assert_eq!(resolve_threads(Some("3")), 3);
+        assert!(resolve_threads(Some("0")) >= 1, "0 means one per core");
+        assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a thread count")]
+    fn malformed_thread_knob_panics() {
+        resolve_threads(Some("lots"));
     }
 }

@@ -10,6 +10,8 @@
 use i2p_measure::censor::censor_blacklist_from_engine;
 use i2p_measure::engine::HarvestEngine;
 use i2p_measure::fleet::Fleet;
+use i2p_measure::keyspace::KeyspaceConfig;
+use i2p_measure::VisibilityModel;
 use i2p_sim::world::{World, WorldConfig};
 use std::collections::BTreeSet;
 
@@ -132,6 +134,41 @@ fn censor_blacklist_engine_path_matches_record_path() {
         let engine_bl: BTreeSet<i2p_data::PeerIp> =
             censor_blacklist_from_engine(&engine, n, window, eval).into_iter().collect();
         assert_eq!(engine_bl, oracle, "n {n} window {window} eval {eval}");
+    }
+}
+
+#[test]
+fn sharded_fill_matches_oracle_at_every_worker_count() {
+    // The work-stealing (vantage, id-shard) fill must agree with the
+    // retained sequential oracle fill per-lane and per-bit — at any
+    // worker count, under both visibility models, including days past
+    // the DayIndex horizon (owned-scan cut path).
+    for (seed, scale, fleet) in combos() {
+        let world = World::generate(WorldConfig { days: 6, scale, seed });
+        for model in
+            [VisibilityModel::Uniform, VisibilityModel::Keyspace(KeyspaceConfig::paper())]
+        {
+            let oracle = HarvestEngine::build_oracle(&world, &fleet, 0..8, &model);
+            for threads in [1usize, 2, 5, 13] {
+                let sharded = HarvestEngine::with_vantages_model_threads(
+                    &world,
+                    fleet.vantages.clone(),
+                    0..8,
+                    &model,
+                    threads,
+                );
+                for day in 0..8 {
+                    for v in 0..fleet.vantages.len() {
+                        assert_eq!(
+                            sharded.vantage_ids(v, day),
+                            oracle.vantage_ids(v, day),
+                            "seed {seed} threads {threads} day {day} vantage {v}"
+                        );
+                    }
+                    assert_eq!(sharded.coverage_curve(day), oracle.coverage_curve(day));
+                }
+            }
+        }
     }
 }
 

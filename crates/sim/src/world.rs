@@ -30,7 +30,7 @@ impl WorldConfig {
 }
 
 /// CSR-style per-day index of the online population, built once at
-/// generation time.
+/// generation time — sharded into fixed-width id ranges.
 ///
 /// `offsets[d]..offsets[d+1]` bounds study day `d`'s slice of `ids`, a
 /// flat list of online peer ids (ascending within each day, because
@@ -38,6 +38,15 @@ impl WorldConfig {
 /// (`PeerRecord::online`) are evaluated exactly once per (peer, day of
 /// its clamped presence span), so day queries never rescan the long-dead
 /// warm-up population again.
+///
+/// On top of the CSR layout the index carries a **shard plane**: the id
+/// space is cut into [`DayIndex::SHARD_WIDTH`]-wide ranges (a pure
+/// function of world size — never of thread count), and every day's
+/// slice stores its per-shard cut positions. Shards give the harvest
+/// engine word-disjoint fill units and give out-of-window presence
+/// queries a liveness bound: a shard whose every peer has expired (or
+/// not yet joined) by the queried day is skipped without touching a
+/// single `PeerRecord`.
 pub struct DayIndex {
     /// Study days covered: `[0, days)`.
     days: u64,
@@ -47,9 +56,28 @@ pub struct DayIndex {
     ids: Vec<u32>,
     /// Ids of peers online on at least one study day, ascending.
     ever: Vec<u32>,
+    /// Id-range shards covering the whole population.
+    n_shards: usize,
+    /// Per-(day, shard) cut positions into each day's slice, relative
+    /// to the day's start (length `days * (n_shards + 1)`): shard `s`
+    /// of day `d` holds the day's online ids in `[s*W, (s+1)*W)`.
+    cuts: Vec<u32>,
+    /// Per-shard latest `end_day` (exclusive) over every peer in the
+    /// shard's id range — after this day the whole shard is dead.
+    shard_max_end: Vec<i64>,
+    /// Per-shard earliest `join_day` — before this day the whole shard
+    /// does not exist yet (ids are assigned in arrival order).
+    shard_min_join: Vec<i64>,
 }
 
 impl DayIndex {
+    /// Fixed id-range shard width, in peer ids. Constant by design:
+    /// shard geometry depends only on the population size, so work
+    /// units, counters, and figures derived from shards are identical
+    /// at any thread count. 4096 ids keeps a shard's fill caches in
+    /// L1/L2 while still giving a scale-1 world dozens of shards.
+    pub const SHARD_WIDTH: u32 = 1 << 12;
+
     /// Builds the index for study days `[0, days)`.
     pub fn build(peers: &[PeerRecord], days: u64) -> Self {
         let nd = days as usize;
@@ -78,7 +106,28 @@ impl DayIndex {
             ids.extend_from_slice(day);
             offsets.push(ids.len() as u32);
         }
-        DayIndex { days, offsets, ids, ever }
+
+        // The shard plane: per-day cut positions plus per-shard
+        // liveness spans over the whole population.
+        let width = Self::SHARD_WIDTH as usize;
+        let n_shards = peers.len().div_ceil(width).max(1);
+        let mut cuts = Vec::with_capacity(nd * (n_shards + 1));
+        for d in 0..nd {
+            let slice = &ids[offsets[d] as usize..offsets[d + 1] as usize];
+            cuts.push(0u32);
+            for s in 1..=n_shards {
+                let bound = (s * width) as u32;
+                cuts.push(slice.partition_point(|&id| id < bound) as u32);
+            }
+        }
+        let mut shard_max_end = vec![i64::MIN; n_shards];
+        let mut shard_min_join = vec![i64::MAX; n_shards];
+        for p in peers {
+            let s = p.id as usize / width;
+            shard_max_end[s] = shard_max_end[s].max(p.end_day());
+            shard_min_join[s] = shard_min_join[s].min(p.join_day);
+        }
+        DayIndex { days, offsets, ids, ever, n_shards, cuts, shard_max_end, shard_min_join }
     }
 
     /// Days the index covers.
@@ -99,15 +148,45 @@ impl DayIndex {
     pub fn ever_ids(&self) -> &[u32] {
         &self.ever
     }
+
+    /// Number of fixed-width id-range shards covering the population.
+    pub fn shard_count(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The position range (relative to the day's [`DayIndex::online_ids`]
+    /// slice) holding shard `shard`'s online ids on `day`, or `None`
+    /// beyond the indexed window or the shard grid.
+    pub fn shard_bounds(&self, day: u64, shard: usize) -> Option<std::ops::Range<usize>> {
+        if day >= self.days || shard >= self.n_shards {
+            return None;
+        }
+        let row = day as usize * (self.n_shards + 1) + shard;
+        Some(self.cuts[row] as usize..self.cuts[row + 1] as usize)
+    }
+
+    /// Whether any peer in shard `shard` can possibly be online on
+    /// `day`: the shard's join/end envelope covers it. Days outside the
+    /// envelope are provably empty without touching a `PeerRecord`.
+    pub fn shard_live_on(&self, shard: usize, day: i64) -> bool {
+        self.shard_min_join.get(shard).is_some_and(|&join| join <= day)
+            && self.shard_max_end.get(shard).is_some_and(|&end| day < end)
+    }
 }
 
 /// Iterator over the peers online on one day: an indexed slice walk for
-/// study days, a full presence scan beyond the index's horizon.
+/// study days, a shard-bounded presence scan beyond the index's horizon.
 pub struct OnlinePeers<'a>(OnlineIter<'a>);
 
 enum OnlineIter<'a> {
     Indexed { ids: std::slice::Iter<'a, u32>, peers: &'a [PeerRecord] },
-    Scan { peers: std::slice::Iter<'a, PeerRecord>, day: i64 },
+    /// The out-of-window fallback. Instead of the old O(n) full-vector
+    /// walk, the scan consults the index's shard liveness envelopes and
+    /// skips every id-range shard that is provably empty on `day` —
+    /// far past the window that is almost all of them, so the per-call
+    /// work is O(live shards), not O(population). Peers actually
+    /// examined are ledgered in the `fallback_peers_scanned` counter.
+    Scan { peers: &'a [PeerRecord], index: &'a DayIndex, day: i64, next: usize },
 }
 
 impl<'a> Iterator for OnlinePeers<'a> {
@@ -116,14 +195,29 @@ impl<'a> Iterator for OnlinePeers<'a> {
     fn next(&mut self) -> Option<&'a PeerRecord> {
         match &mut self.0 {
             OnlineIter::Indexed { ids, peers } => ids.next().map(|&id| &peers[id as usize]),
-            OnlineIter::Scan { peers, day } => peers.find(|p| p.online(*day)),
+            OnlineIter::Scan { peers, index, day, next } => {
+                let width = DayIndex::SHARD_WIDTH as usize;
+                while *next < peers.len() {
+                    if *next % width == 0 && !index.shard_live_on(*next / width, *day) {
+                        *next = (*next / width + 1) * width;
+                        continue;
+                    }
+                    let p = &peers[*next];
+                    *next += 1;
+                    i2p_telemetry::count_one(i2p_telemetry::Counter::FallbackPeersScanned);
+                    if p.online(*day) {
+                        return Some(p);
+                    }
+                }
+                None
+            }
         }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         match &self.0 {
             OnlineIter::Indexed { ids, .. } => ids.size_hint(),
-            OnlineIter::Scan { peers, .. } => (0, peers.size_hint().1),
+            OnlineIter::Scan { peers, next, .. } => (0, Some(peers.len().saturating_sub(*next))),
         }
     }
 }
@@ -179,7 +273,12 @@ impl World {
     pub fn online_peers(&self, day: u64) -> OnlinePeers<'_> {
         OnlinePeers(match self.index.online_ids(day) {
             Some(ids) => OnlineIter::Indexed { ids: ids.iter(), peers: &self.peers },
-            None => OnlineIter::Scan { peers: self.peers.iter(), day: day as i64 },
+            None => OnlineIter::Scan {
+                peers: &self.peers,
+                index: &self.index,
+                day: day as i64,
+                next: 0,
+            },
         })
     }
 
@@ -288,6 +387,57 @@ mod tests {
         };
         let ever: Vec<u32> = w.ever_online().map(|p| p.id).collect();
         assert_eq!(naive_ever, ever);
+    }
+
+    #[test]
+    fn shard_cuts_tile_every_day() {
+        let w = small_world();
+        let width = DayIndex::SHARD_WIDTH as usize;
+        assert_eq!(w.index.shard_count(), w.total_peers().div_ceil(width).max(1));
+        for day in 0..w.config.days {
+            let ids = w.online_ids(day).expect("study day");
+            let mut walked = 0usize;
+            for s in 0..w.index.shard_count() {
+                let bounds = w.index.shard_bounds(day, s).expect("in-window shard");
+                assert_eq!(bounds.start, walked, "day {day} shard {s} must tile");
+                for &id in &ids[bounds.clone()] {
+                    assert_eq!(id as usize / width, s, "id {id} outside shard {s}");
+                }
+                walked = bounds.end;
+            }
+            assert_eq!(walked, ids.len(), "day {day}: cuts must cover the whole slice");
+        }
+        assert!(w.index.shard_bounds(w.config.days, 0).is_none());
+        assert!(w.index.shard_bounds(0, w.index.shard_count()).is_none());
+    }
+
+    #[test]
+    fn out_of_window_scan_work_is_shard_bounded() {
+        let w = small_world();
+        // The contract: an out-of-window query examines at most the
+        // peers of the shards whose liveness envelope covers the day —
+        // never the whole population vector.
+        let day = w.config.days + 3;
+        let live: usize = (0..w.index.shard_count())
+            .filter(|&s| w.index.shard_live_on(s, day as i64))
+            .count();
+        let (delta, n) = i2p_telemetry::counters::exclusive(|| w.online_count(day));
+        assert!(n > 0, "some peers outlive the window");
+        let scanned = delta.get(i2p_telemetry::Counter::FallbackPeersScanned);
+        assert!(
+            scanned <= (live * DayIndex::SHARD_WIDTH as usize) as u64,
+            "scanned {scanned} peers but only {live} shards are live"
+        );
+        // Far past every peer's lifetime every shard is dead: the
+        // fallback answers without examining a single PeerRecord.
+        let horizon = w.peers.iter().map(|p| p.end_day()).fold(0i64, i64::max) as u64;
+        let (delta, n) = i2p_telemetry::counters::exclusive(|| w.online_count(horizon + 7));
+        assert_eq!(n, 0);
+        assert_eq!(
+            delta.get(i2p_telemetry::Counter::FallbackPeersScanned),
+            0,
+            "dead shards must be skipped outright"
+        );
     }
 
     #[test]

@@ -76,9 +76,95 @@ pub fn checksum(data: &[u8]) -> [u8; CHECKSUM_LEN] {
     h.to_be_bytes()
 }
 
+/// Incremental [`checksum`]: feed the input in arbitrary chunks and get
+/// the identical digest. Possible because the one-shot hash mixes the
+/// total length into the *initial* state — so the caller must know the
+/// covered length up front (for files, that is just metadata) — and
+/// then folds fixed 8-byte lanes; a carry buffer bridges chunk seams.
+/// This is what lets [`crate::LazySnapshot`] verify a multi-gigabyte
+/// archive's trailer in O(chunk) memory without mapping the segments.
+pub struct Hasher {
+    h: u64,
+    buf: [u8; 8],
+    buf_len: usize,
+}
+
+impl Hasher {
+    /// Starts a digest over exactly `total_len` bytes of input.
+    pub fn new(total_len: usize) -> Hasher {
+        Hasher {
+            h: 0xcbf2_9ce4_8422_2325u64 ^ (total_len as u64).wrapping_mul(M),
+            buf: [0u8; 8],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs the next chunk of input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let need = 8 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len < 8 {
+                return;
+            }
+            self.h = (self.h ^ u64::from_le_bytes(self.buf)).wrapping_mul(M);
+            self.h ^= self.h >> 29;
+            self.buf_len = 0;
+        }
+        let mut chunks = data.chunks_exact(8);
+        for c in &mut chunks {
+            let lane = u64::from_le_bytes(c.try_into().expect("exact chunk")); // i2plint: allow(panic-audit) -- chunks_exact(8) yields exactly 8 bytes
+            self.h = (self.h ^ lane).wrapping_mul(M);
+            self.h ^= self.h >> 29;
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    /// Finishes the digest. Equals [`checksum`] over the concatenated
+    /// input iff the lengths agree; note the final partial lane folds
+    /// *without* the inter-lane xorshift, matching the one-shot path.
+    pub fn finish(mut self) -> [u8; CHECKSUM_LEN] {
+        if self.buf_len > 0 {
+            let mut last = [0u8; 8];
+            last[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            self.h = (self.h ^ u64::from_le_bytes(last)).wrapping_mul(M);
+        }
+        self.h ^= self.h >> 33;
+        self.h = self.h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        self.h ^= self.h >> 33;
+        self.h.to_be_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn streaming_hasher_matches_one_shot_for_every_chunking() {
+        let data: Vec<u8> = (0..1031u32).map(|i| (i * 37 % 257) as u8).collect();
+        let want = checksum(&data);
+        // Chunk sizes straddling the 8-byte lane width, including ones
+        // that keep the carry buffer partially full across updates.
+        for step in [1usize, 2, 3, 5, 7, 8, 9, 13, 64, 1000, 2048] {
+            let mut h = Hasher::new(data.len());
+            for chunk in data.chunks(step) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finish(), want, "chunk size {step}");
+        }
+        // Degenerate inputs.
+        for len in [0usize, 1, 7, 8, 9] {
+            let mut h = Hasher::new(len);
+            h.update(&data[..len]);
+            assert_eq!(h.finish(), checksum(&data[..len]), "len {len}");
+        }
+    }
 
     #[test]
     fn checksum_detects_every_single_byte_flip() {

@@ -28,11 +28,13 @@
 #![warn(missing_docs)]
 
 pub mod format;
+pub mod lazy;
 pub mod snapshot;
 mod wire;
 
 use i2p_data::codec::DecodeError;
 
+pub use lazy::LazySnapshot;
 pub use snapshot::{Snapshot, SnapshotMeta};
 pub use wire::RecoveryReport;
 
@@ -54,6 +56,16 @@ pub enum StoreError {
         /// The version found in the header.
         found: u16,
     },
+    /// A region outgrew its wire-format width (e.g. a vantage fleet
+    /// beyond `u16`, a header or day segment beyond `u32` bytes). The
+    /// encoder refuses rather than silently truncating the length and
+    /// producing a corrupt-but-checksummed archive.
+    TooLarge {
+        /// Which wire region overflowed.
+        region: &'static str,
+        /// The length that did not fit.
+        len: usize,
+    },
     /// The fault plane fired an injected IO crash-point mid-write
     /// (`io_crash=N`): the writer "died" here, leaving whatever a real
     /// crash at this point would leave on disk.
@@ -72,6 +84,9 @@ impl std::fmt::Display for StoreError {
             StoreError::UnsupportedVersion { found } => {
                 write!(f, "unsupported snapshot version {found} (this build reads v{})",
                     format::VERSION)
+            }
+            StoreError::TooLarge { region, len } => {
+                write!(f, "snapshot region {region} too large for the wire format ({len} items/bytes)")
             }
             StoreError::InjectedCrash { point } => {
                 write!(f, "injected IO crash at write point {point}")

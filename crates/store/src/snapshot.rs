@@ -133,13 +133,16 @@ impl Snapshot {
         self.days.iter().map(|d| d.observations.len()).sum()
     }
 
-    /// Serializes to the versioned, checksummed wire format.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// Serializes to the versioned, checksummed wire format. Fails with
+    /// [`StoreError::TooLarge`] if any region outgrows its length field
+    /// (e.g. a vantage fleet beyond `u16`) — never by silently
+    /// truncating a length.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, StoreError> {
         let _span = i2p_telemetry::span("store.encode");
-        let bytes = crate::wire::encode(self);
+        let bytes = crate::wire::encode(self)?;
         i2p_telemetry::count(i2p_telemetry::Counter::SegmentsEncoded, self.days.len() as u64);
         i2p_telemetry::count(i2p_telemetry::Counter::StoreBytesWritten, bytes.len() as u64);
-        bytes
+        Ok(bytes)
     }
 
     /// Parses and validates a snapshot (magic, version, every segment
@@ -181,7 +184,7 @@ impl Snapshot {
         use std::io::Write as _;
         let _span = i2p_telemetry::span("store.write");
         let path = path.as_ref();
-        let bytes = self.to_bytes();
+        let bytes = self.to_bytes()?;
         let tmp = tmp_path(path);
         let crash = |point: u32| -> Result<(), StoreError> {
             if faults.io_crash_at(point) {
@@ -270,34 +273,7 @@ impl Snapshot {
         let _span = i2p_telemetry::span("store.verify");
         let mut verified = 0usize;
         for seg in &self.days {
-            for (obs, bytes) in seg.observations.iter().zip(&seg.router_infos) {
-                let ri = RouterInfo::decode(bytes)?;
-                if !ri.verify() {
-                    return Err(StoreError::Corrupt { what: "routerinfo signature" });
-                }
-                if ri.published != SimTime::from_day_ms(seg.day, 0) {
-                    return Err(StoreError::Corrupt { what: "routerinfo publication day" });
-                }
-                let ips = ri.published_ips();
-                let v4 = ips.iter().copied().find(PeerIp::is_v4);
-                if v4 != obs.ipv4 {
-                    return Err(StoreError::Corrupt { what: "routerinfo ipv4" });
-                }
-                let v6 = ips.iter().copied().find(|ip| !ip.is_v4());
-                if v6 != obs.ipv6 {
-                    return Err(StoreError::Corrupt { what: "routerinfo ipv6" });
-                }
-                let has_intro = ri.addresses.iter().any(|a| !a.introducers.is_empty());
-                if has_intro != obs.has_introducers {
-                    return Err(StoreError::Corrupt { what: "routerinfo introducers" });
-                }
-                let caps = Caps::parse(&obs.caps)
-                    .map_err(|_| StoreError::Corrupt { what: "observation caps" })?;
-                if ri.caps != caps {
-                    return Err(StoreError::Corrupt { what: "routerinfo caps" });
-                }
-                verified += 1;
-            }
+            verified += verify_segment_router_infos(seg)?;
         }
         i2p_telemetry::count(i2p_telemetry::Counter::RecordsVerified, verified as u64);
         Ok(verified)
@@ -378,9 +354,46 @@ impl SnapshotSource for Snapshot {
     }
 }
 
+/// Decodes and signature-verifies every archived RouterInfo of one day
+/// segment against its observation rows — the per-segment unit both
+/// [`Snapshot::verify_router_infos`] and the streaming
+/// [`crate::LazySnapshot::verify_router_infos`] are built from.
+pub(crate) fn verify_segment_router_infos(seg: &DaySegment) -> Result<usize, StoreError> {
+    let mut verified = 0usize;
+    for (obs, bytes) in seg.observations.iter().zip(&seg.router_infos) {
+        let ri = RouterInfo::decode(bytes)?;
+        if !ri.verify() {
+            return Err(StoreError::Corrupt { what: "routerinfo signature" });
+        }
+        if ri.published != SimTime::from_day_ms(seg.day, 0) {
+            return Err(StoreError::Corrupt { what: "routerinfo publication day" });
+        }
+        let ips = ri.published_ips();
+        let v4 = ips.iter().copied().find(PeerIp::is_v4);
+        if v4 != obs.ipv4 {
+            return Err(StoreError::Corrupt { what: "routerinfo ipv4" });
+        }
+        let v6 = ips.iter().copied().find(|ip| !ip.is_v4());
+        if v6 != obs.ipv6 {
+            return Err(StoreError::Corrupt { what: "routerinfo ipv6" });
+        }
+        let has_intro = ri.addresses.iter().any(|a| !a.introducers.is_empty());
+        if has_intro != obs.has_introducers {
+            return Err(StoreError::Corrupt { what: "routerinfo introducers" });
+        }
+        let caps = Caps::parse(&obs.caps)
+            .map_err(|_| StoreError::Corrupt { what: "observation caps" })?;
+        if ri.caps != caps {
+            return Err(StoreError::Corrupt { what: "routerinfo caps" });
+        }
+        verified += 1;
+    }
+    Ok(verified)
+}
+
 /// Visits every row position set in the OR of the first `k` lanes,
 /// ascending (= ascending peer id, since rows are id-sorted).
-fn for_each_union_row(seg: &DaySegment, k: usize, f: &mut dyn FnMut(usize)) {
+pub(crate) fn for_each_union_row(seg: &DaySegment, k: usize, f: &mut dyn FnMut(usize)) {
     let k = k.min(seg.lanes.len());
     for j in 0..seg.words {
         let mut acc = 0u64;
@@ -492,7 +505,7 @@ mod tests {
         let target = sybil::pick_target(&world, 0..4);
         let attacked = sybil::attacked_engine(&world, &fleet, &cfg, target, 8);
         for engine in [&keyed, &attacked] {
-            let bytes = Snapshot::capture(engine).to_bytes();
+            let bytes = Snapshot::capture(engine).to_bytes().expect("encode");
             let replay = Snapshot::from_bytes(&bytes).expect("roundtrip");
             for day in 0..4 {
                 assert_eq!(replay.coverage_curve(day), engine.coverage_curve(day));
@@ -565,7 +578,7 @@ mod tests {
         let (world, fleet) = tiny();
         let engine = HarvestEngine::build(&world, &fleet, 1..3);
         let snap = Snapshot::capture(&engine);
-        let bytes = snap.to_bytes();
+        let bytes = snap.to_bytes().expect("encode");
         let back = Snapshot::from_bytes(&bytes).expect("roundtrip");
         assert_eq!(back.meta(), snap.meta());
         assert_eq!(back.total_rows(), snap.total_rows());
@@ -576,7 +589,7 @@ mod tests {
             assert_eq!(a.lanes, b.lanes);
         }
         // Serialization is deterministic.
-        assert_eq!(bytes, back.to_bytes());
+        assert_eq!(bytes, back.to_bytes().expect("encode"));
     }
 
     #[test]
@@ -640,7 +653,7 @@ mod tests {
             Err(StoreError::InjectedCrash { point: 5 }) => {}
             other => panic!("crash point 5 did not fire: {other:?}"),
         }
-        assert_eq!(std::fs::read(path).expect("destination"), new.to_bytes());
+        assert_eq!(std::fs::read(path).expect("destination"), new.to_bytes().expect("encode"));
         // And a clean retry after any crash completes normally.
         new.write_to(path).expect("retry succeeds");
         assert_eq!(Snapshot::read_from(path).expect("reload").total_rows(), new.total_rows());
@@ -651,14 +664,14 @@ mod tests {
         let (world, fleet) = tiny();
         let engine = HarvestEngine::build(&world, &fleet, 0..4);
         let snap = Snapshot::capture(&engine);
-        let bytes = snap.to_bytes();
+        let bytes = snap.to_bytes().expect("encode");
 
         // Intact bytes load with an intact report and full day count.
         let (whole, report) = Snapshot::from_bytes_recover(&bytes).expect("intact");
         assert!(report.is_intact());
         assert_eq!(report.recovered_days, 4);
         assert_eq!(report.quarantined_bytes, 0);
-        assert_eq!(whole.to_bytes(), bytes, "intact recovery is lossless");
+        assert_eq!(whole.to_bytes().expect("encode"), bytes, "intact recovery is lossless");
 
         // Truncations anywhere past the header recover a (possibly
         // empty) contiguous prefix; the strict loader refuses them all.
@@ -711,7 +724,7 @@ mod tests {
         head.extend(tail).expect("contiguous tail merges");
         // Per-peer archive identities are deterministic, so the merged
         // snapshot is byte-identical to a one-shot capture.
-        assert_eq!(head.to_bytes(), whole.to_bytes());
+        assert_eq!(head.to_bytes().expect("encode"), whole.to_bytes().expect("encode"));
 
         // A gapped tail is refused.
         let mut head2 = Snapshot::capture(&head_engine);
@@ -730,13 +743,59 @@ mod tests {
     }
 
     #[test]
+    fn oversized_regions_error_cleanly_instead_of_truncating() {
+        // A vantage fleet beyond the header's u16 count field used to
+        // wrap silently through `as u16` — the archive would checksum
+        // cleanly and decode to a 4_464-vantage fleet. The encoder must
+        // refuse with the region and the offending length instead.
+        let fleet: Vec<Vantage> = (0..70_000u64)
+            .map(|salt| Vantage { mode: VantageMode::Floodfill, shared_kbps: 64, salt })
+            .collect();
+        let meta = SnapshotMeta {
+            world_days: 1,
+            world_scale: 0.01,
+            world_seed: 7,
+            total_peers: 0,
+            vantages: fleet,
+            day_start: 0,
+            n_days: 0,
+        };
+        let snap = Snapshot::from_parts(meta, Vec::new());
+        match snap.to_bytes() {
+            Err(StoreError::TooLarge { region, len }) => {
+                assert_eq!(region, "header.n-vantages");
+                assert_eq!(len, 70_000);
+            }
+            other => panic!("oversized fleet must refuse to encode: {other:?}"),
+        }
+        // Right at the boundary the fleet still encodes and decodes
+        // losslessly — the check is exact, not conservative.
+        let fleet: Vec<Vantage> = (0..u16::MAX as u64)
+            .map(|salt| Vantage { mode: VantageMode::NonFloodfill, shared_kbps: 1, salt })
+            .collect();
+        let meta = SnapshotMeta {
+            world_days: 1,
+            world_scale: 0.01,
+            world_seed: 7,
+            total_peers: 0,
+            vantages: fleet.clone(),
+            day_start: 0,
+            n_days: 0,
+        };
+        let bytes =
+            Snapshot::from_parts(meta, Vec::new()).to_bytes().expect("boundary fleet encodes");
+        let back = Snapshot::from_bytes(&bytes).expect("boundary fleet decodes");
+        assert_eq!(back.meta().vantages, fleet, "u16::MAX vantages roundtrip losslessly");
+    }
+
+    #[test]
     fn every_corruption_detected() {
         // Every single-byte flip anywhere in the file must surface as a
         // load error: each region sits under a checksum (or is the
         // checksum, magic, tag or length whose damage breaks parsing).
         let (world, fleet) = tiny();
         let engine = HarvestEngine::build(&world, &fleet, 0..1);
-        let bytes = Snapshot::capture(&engine).to_bytes();
+        let bytes = Snapshot::capture(&engine).to_bytes().expect("encode");
         // Exhaustive flipping is O(len²) in hashing; a fixed stride that
         // lands in every region (magic, header, both checksums, row
         // table, lanes, trailer) plus the boundary bytes keeps the test

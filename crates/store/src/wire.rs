@@ -11,14 +11,26 @@ use i2p_data::{Caps, CapsString, Hash256, PeerIp};
 use i2p_measure::fleet::Vantage;
 use i2p_measure::observed::ObservedRouterInfo;
 
-pub(crate) fn encode(snap: &Snapshot) -> Vec<u8> {
+/// Checked `usize → u32` length narrowing: the wire format's length
+/// fields must never wrap silently — a truncated length would still
+/// checksum cleanly and corrupt the archive undetectably.
+fn len_u32(len: usize, region: &'static str) -> Result<u32, StoreError> {
+    u32::try_from(len).map_err(|_| StoreError::TooLarge { region, len })
+}
+
+/// Checked `usize → u16` count narrowing (see [`len_u32`]).
+fn len_u16(len: usize, region: &'static str) -> Result<u16, StoreError> {
+    u16::try_from(len).map_err(|_| StoreError::TooLarge { region, len })
+}
+
+pub(crate) fn encode(snap: &Snapshot) -> Result<Vec<u8>, StoreError> {
     let mut w = Writer::new();
     w.bytes(&MAGIC);
     w.u16(VERSION);
 
     // Header: world + fleet metadata, independently checksummed.
-    let header = encode_header(snap.meta());
-    w.u32(header.len() as u32);
+    let header = encode_header(snap.meta())?;
+    w.u32(len_u32(header.len(), "snapshot.header-len")?);
     w.bytes(&header);
     w.bytes(&checksum(&header));
 
@@ -26,7 +38,7 @@ pub(crate) fn encode(snap: &Snapshot) -> Vec<u8> {
     for seg in &snap.days {
         let body = encode_segment(seg);
         w.u8(SEGMENT_TAG);
-        w.u32(body.len() as u32);
+        w.u32(len_u32(body.len(), "snapshot.segment-len")?);
         w.bytes(&body);
         w.bytes(&checksum(&body));
     }
@@ -36,10 +48,10 @@ pub(crate) fn encode(snap: &Snapshot) -> Vec<u8> {
     let file_sum = checksum(&out);
     out.push(TRAILER_TAG);
     out.extend_from_slice(&file_sum);
-    out
+    Ok(out)
 }
 
-fn encode_header(meta: &SnapshotMeta) -> Vec<u8> {
+fn encode_header(meta: &SnapshotMeta) -> Result<Vec<u8>, StoreError> {
     let mut w = Writer::new();
     w.u64(meta.world_days);
     w.u64(meta.world_scale.to_bits());
@@ -47,13 +59,13 @@ fn encode_header(meta: &SnapshotMeta) -> Vec<u8> {
     w.u64(meta.total_peers);
     w.u64(meta.day_start);
     w.u32(meta.n_days);
-    w.u16(meta.vantages.len() as u16);
+    w.u16(len_u16(meta.vantages.len(), "header.n-vantages")?);
     for v in &meta.vantages {
         w.u8(mode_tag(v.mode));
         w.u32(v.shared_kbps);
         w.u64(v.salt);
     }
-    w.into_bytes()
+    Ok(w.into_bytes())
 }
 
 fn encode_segment(seg: &DaySegment) -> Vec<u8> {
@@ -196,7 +208,7 @@ fn read_element(
 /// Reads the mandatory prelude: magic, version, checksummed header.
 /// Damage here is unrecoverable — without the header there is no world
 /// or fleet identity to recover a prefix against.
-fn decode_prelude<'a>(r: &mut Reader<'a>) -> Result<SnapshotMeta, StoreError> {
+pub(crate) fn decode_prelude<'a>(r: &mut Reader<'a>) -> Result<SnapshotMeta, StoreError> {
     if r.bytes(MAGIC.len(), "snapshot.magic")? != MAGIC.as_slice() {
         return Err(StoreError::Corrupt { what: "magic" });
     }
@@ -323,7 +335,7 @@ fn decode_header(bytes: &[u8]) -> Result<SnapshotMeta, StoreError> {
     })
 }
 
-fn decode_segment(bytes: &[u8], n_vantages: usize) -> Result<DaySegment, StoreError> {
+pub(crate) fn decode_segment(bytes: &[u8], n_vantages: usize) -> Result<DaySegment, StoreError> {
     let mut r = Reader::new(bytes);
     let day = r.u64("segment.day")?;
     let n_rows = r.varint("segment.row-count")? as usize;

@@ -48,6 +48,17 @@ counters! {
     RoutersHarvested => "routers_harvested",
     /// Bitset words OR'd while answering union/coverage queries.
     BitsetWordsOr => "bitset_words_or",
+    /// (vantage, id-shard) fill units in the engine's shard queue.
+    /// Counted once per fill as `vantages × shards` — the shard grid is
+    /// a pure function of world size, never of worker count.
+    EngineShardUnits => "engine_shard_units",
+    /// Fixed-width word blocks streamed by the engine's union/coverage
+    /// queries (each block is visited O(shard) at a time, so this is
+    /// also the query path's peak-memory ledger).
+    EngineShardBlocks => "engine_shard_blocks",
+    /// Peers actually examined by the out-of-study-window presence
+    /// scan after dead id-shards were skipped.
+    FallbackPeersScanned => "fallback_peers_scanned",
     /// Scenario-lab grid cells evaluated by `lab::sweep`.
     SweepCells => "sweep_cells",
     /// Figure/table blocks rendered by the figure pipeline.
@@ -62,6 +73,10 @@ counters! {
     SegmentsEncoded => "segments_encoded",
     /// Day segments decoded back out of the `.i2ps` wire format.
     SegmentsDecoded => "segments_decoded",
+    /// Day segments decoded on demand by the lazy snapshot reader
+    /// (cache misses; a replay that never re-visits a day decodes each
+    /// segment exactly once).
+    SegmentsLazyLoaded => "segments_lazy_loaded",
     /// Bytes of snapshot wire format produced by the encoder.
     StoreBytesWritten => "store_bytes_written",
     /// Bytes of snapshot wire format consumed by the decoder.

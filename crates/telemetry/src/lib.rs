@@ -34,7 +34,7 @@ pub mod rss;
 pub mod timing;
 
 pub use counters::Counter;
-pub use timing::{enable, enabled, span, tally, Span, Tally};
+pub use timing::{enable, enabled, gauge, span, tally, Span, Tally};
 
 /// Adds `n` to a deterministic counter. Free-function sugar for the
 /// common call shape `i2p_telemetry::count(Counter::…, n)`.

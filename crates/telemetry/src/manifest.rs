@@ -147,6 +147,16 @@ pub fn manifest_json(
     if !timing.tallies.is_empty() {
         out.push_str("\n    ");
     }
+    out.push_str("],\n    \"gauges\": [");
+    for (i, (name, value)) in timing.gauges.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n      " } else { "\n      " });
+        out.push_str("{\"name\": ");
+        push_json_str(&mut out, name);
+        out.push_str(&format!(", \"value\": {value}}}"));
+    }
+    if !timing.gauges.is_empty() {
+        out.push_str("\n    ");
+    }
     out.push_str("],\n    \"spans\": [");
     if timing.spans.is_empty() {
         out.push_str("]\n  }\n}\n");
@@ -195,6 +205,10 @@ pub struct ManifestSummary {
     pub span_names: Vec<String>,
     /// Unique tally labels, sorted.
     pub tally_names: Vec<String>,
+    /// Gauge `(label, value-lexeme)` pairs, source order (environment
+    /// observations like the engine's resolved worker count — timing-
+    /// plane data, never diffed across runs).
+    pub gauges: Vec<(String, String)>,
     /// Total span nodes in the tree.
     pub span_count: usize,
 }
@@ -329,6 +343,20 @@ pub fn validate_manifest(text: &str) -> Result<ManifestSummary, String> {
     tally_names.sort();
     tally_names.dedup();
 
+    // Gauges arrived with the scale work (sharded engine fill); the
+    // emitter always writes the array, so its absence means a manifest
+    // this validator should not claim to understand.
+    let mut gauges = Vec::new();
+    let gauge_rows = timing
+        .field("gauges")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| "manifest timing: missing gauges array".to_string())?;
+    for row in gauge_rows {
+        let name = require_str(row, "name", "manifest gauge")?;
+        let value = require_u64_lexeme(row, "value", "manifest gauge")?;
+        gauges.push((name, value));
+    }
+
     let spans = timing
         .field("spans")
         .and_then(Value::as_arr)
@@ -339,7 +367,16 @@ pub fn validate_manifest(text: &str) -> Result<ManifestSummary, String> {
     span_names.sort();
     span_names.dedup();
 
-    Ok(ManifestSummary { schema, command, knobs, counters, span_names, tally_names, span_count })
+    Ok(ManifestSummary {
+        schema,
+        command,
+        knobs,
+        counters,
+        span_names,
+        tally_names,
+        gauges,
+        span_count,
+    })
 }
 
 /// Parses and validates a Chrome trace export; returns the event
@@ -390,6 +427,7 @@ mod tests {
                 ("netdb.lookup_step", TallyAgg { calls: 7, total_us: 3 }),
                 ("transport.send", TallyAgg { calls: 42, total_us: 9 }),
             ],
+            gauges: vec![("measure.engine_workers", 4)],
             dropped_spans: 0,
             elapsed_us: 150,
         }
@@ -413,6 +451,10 @@ mod tests {
         assert_eq!(summary.schema, SCHEMA);
         assert_eq!(summary.command, "figures");
         assert_eq!(summary.span_count, 2);
+        assert_eq!(
+            summary.gauges,
+            vec![("measure.engine_workers".to_string(), "4".to_string())]
+        );
         assert_eq!(summary.counters.len(), counters::ALL.len());
         assert_eq!(
             summary.crates_covered(),

@@ -43,12 +43,13 @@ thread_local! {
 struct Plane {
     spans: Vec<SpanRecord>,
     tallies: BTreeMap<&'static str, TallyAgg>,
+    gauges: BTreeMap<&'static str, u64>,
     dropped: u64,
 }
 
 impl Plane {
     const fn new() -> Self {
-        Plane { spans: Vec::new(), tallies: BTreeMap::new(), dropped: 0 }
+        Plane { spans: Vec::new(), tallies: BTreeMap::new(), gauges: BTreeMap::new(), dropped: 0 }
     }
 }
 
@@ -207,6 +208,21 @@ impl Drop for Tally {
     }
 }
 
+/// Records an environment observation — a worker count, a buffer high-
+/// water mark — under the label `name` (last write wins). Gauges live
+/// on the timing plane, **not** the counter plane, by design: a value
+/// like "engine fill workers" is a scheduling fact that legitimately
+/// differs between a `--threads 1` and a `--threads 7` run, so it can
+/// never sit beside the deterministic counters CI byte-diffs across
+/// thread counts. Inert while the plane is disabled, so enabling
+/// telemetry still changes no deterministic output.
+pub fn gauge(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    lock().gauges.insert(name, value);
+}
+
 /// Everything the timing plane recorded so far, in a render-stable
 /// order (spans by start offset then id; tallies by label).
 #[derive(Clone, Debug, Default)]
@@ -215,6 +231,8 @@ pub struct TimingReport {
     pub spans: Vec<SpanRecord>,
     /// Aggregate rows, sorted by label.
     pub tallies: Vec<(&'static str, TallyAgg)>,
+    /// Environment observations (see [`gauge`]), sorted by label.
+    pub gauges: Vec<(&'static str, u64)>,
     /// Spans folded into tallies after [`MAX_SPANS`].
     pub dropped_spans: u64,
     /// Microseconds from the epoch to the moment of this report
@@ -231,6 +249,7 @@ pub fn report() -> TimingReport {
     TimingReport {
         spans,
         tallies: plane.tallies.iter().map(|(name, agg)| (*name, *agg)).collect(),
+        gauges: plane.gauges.iter().map(|(name, value)| (*name, *value)).collect(),
         dropped_spans: plane.dropped,
         elapsed_us,
     }
@@ -242,6 +261,7 @@ pub fn reset() {
     let mut plane = lock();
     plane.spans.clear();
     plane.tallies.clear();
+    plane.gauges.clear();
     plane.dropped = 0;
 }
 
@@ -268,6 +288,8 @@ mod tests {
             let _inner = span("test.inner");
         }
         let _ = tally("test.op");
+        gauge("test.workers", 3);
+        gauge("test.workers", 5); // last write wins
         let report = report();
         let outer = report.spans.iter().find(|s| s.name == "test.outer");
         let inner = report.spans.iter().find(|s| s.name == "test.inner");
@@ -276,6 +298,7 @@ mod tests {
             _ => panic!("both spans must be recorded"),
         }
         assert!(report.tallies.iter().any(|(name, agg)| *name == "test.op" && agg.calls == 1));
+        assert!(report.gauges.contains(&("test.workers", 5)));
         assert!(report.elapsed_us > 0 || report.spans.iter().all(|s| s.dur_us == 0));
     }
 }

@@ -21,7 +21,7 @@ use i2p_measure::source::SnapshotSource;
 use i2p_measure::usability::{evaluate, UsabilityConfig};
 use i2p_measure::{capacity, churn, geo, ipchurn, population, report, sybil};
 use i2p_sim::world::{World, WorldConfig};
-use i2p_store::{Snapshot, StoreError};
+use i2p_store::{LazySnapshot, Snapshot, StoreError};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -489,7 +489,7 @@ pub fn harvest(knobs: &Knobs, out_path: &Path, resume: bool) -> Result<String, S
         );
         Snapshot::capture(&engine)
     };
-    let bytes = snapshot.to_bytes();
+    let bytes = snapshot.to_bytes()?;
     snapshot.write_to_with(out_path, &plane)?;
     let _ = writeln!(
         out,
@@ -556,7 +556,11 @@ pub fn figures_from(
     figs: &[FigId],
     verify: bool,
 ) -> Result<String, StoreError> {
-    let snapshot = Snapshot::read_from(path)?;
+    // Lazy replay: the prelude decodes (and the whole file checksums,
+    // streamed) at open, but day segments are mapped on demand — peak
+    // memory is O(largest day), and the rendered bytes are pinned
+    // identical to the eager loader by tests/scale_parity.rs.
+    let snapshot = LazySnapshot::open(path)?;
     if verify {
         snapshot.verify_router_infos()?;
     }

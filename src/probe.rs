@@ -50,7 +50,7 @@ fn probe_measure_and_store() {
     let fleet = Fleet::alternating(2);
     let engine = HarvestEngine::build(&world, &fleet, 0..2);
     let snapshot = Snapshot::capture(&engine);
-    let bytes = snapshot.to_bytes();
+    let Ok(bytes) = snapshot.to_bytes() else { return };
     if let Ok(decoded) = Snapshot::from_bytes(&bytes) {
         let _ = decoded.verify_router_infos();
     }

@@ -152,7 +152,7 @@ fn composed_capture_roundtrips_through_the_store() {
     let adv = parse_spec("sybil+censor").expect("preset");
     let engine = adv.capture(&lab);
     let snapshot = Snapshot::capture(&engine);
-    let replayed = Snapshot::from_bytes(&snapshot.to_bytes()).expect("roundtrip decodes");
+    let replayed = Snapshot::from_bytes(&snapshot.to_bytes().expect("encode")).expect("roundtrip decodes");
     assert_eq!(snapshot.total_rows(), replayed.total_rows());
     // The replayed snapshot must drive the figure pipeline to the same
     // bytes as the live eclipsed engine.

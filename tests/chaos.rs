@@ -162,6 +162,49 @@ fn outage_grid_coverage_is_monotone_and_sweep_parallelism_free() {
 }
 
 #[test]
+fn faulted_sharded_fill_matches_oracle_at_every_worker_count() {
+    // Outage blanking happens after the sharded fill, so the faulted
+    // engine must stay bit-identical to the sequential oracle fill with
+    // the same plane applied — at any worker count, in both models.
+    let world = world();
+    let fleet = Fleet::alternating(6);
+    let plane = knobs("outage=0.25,loss=0.05").plane();
+    for model in [
+        VisibilityModel::Uniform,
+        VisibilityModel::Keyspace(i2pscope::measure::KeyspaceConfig::paper()),
+    ] {
+        let mut oracle = HarvestEngine::build_oracle(&world, &fleet, 0..DAYS, &model);
+        oracle.apply_outages(&plane);
+        for threads in [1usize, 3, 9] {
+            let mut sharded = HarvestEngine::with_vantages_model_threads(
+                &world,
+                fleet.vantages.clone(),
+                0..DAYS,
+                &model,
+                threads,
+            );
+            sharded.apply_outages(&plane);
+            for day in 0..DAYS {
+                for v in 0..fleet.vantages.len() {
+                    assert_eq!(
+                        sharded.vantage_ids(v, day),
+                        oracle.vantage_ids(v, day),
+                        "threads {threads} day {day} vantage {v}"
+                    );
+                }
+            }
+            for format in [Format::Text, Format::Csv] {
+                assert_eq!(
+                    cli::render_figures(&sharded, format, &FigId::ALL),
+                    cli::render_figures(&oracle, format, &FigId::ALL),
+                    "faulted {format:?} figures depend on fill worker count"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn injected_writer_kills_never_tear_an_existing_archive() {
     // Satellite (a) at the CLI layer: seed the destination with a
     // (recognizably different) degraded archive, then kill the writer

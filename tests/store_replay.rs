@@ -22,7 +22,7 @@ fn replayed_figures_byte_match_live_figures() {
     let engine = HarvestEngine::build(&world, &fleet, 0..8);
     let snapshot = Snapshot::capture(&engine);
     // Through the full wire format, not just the in-memory capture.
-    let loaded = Snapshot::from_bytes(&snapshot.to_bytes()).expect("wire roundtrip");
+    let loaded = Snapshot::from_bytes(&snapshot.to_bytes().expect("encode")).expect("wire roundtrip");
     for format in [Format::Text, Format::Csv] {
         let live = cli::render_figures(&engine, format, &FigId::ALL);
         let replayed = cli::render_figures(&loaded, format, &FigId::ALL);
@@ -36,7 +36,7 @@ fn snapshot_metadata_round_trips() {
     let (world, fleet) = setup();
     let engine = HarvestEngine::build(&world, &fleet, 2..7);
     let snapshot = Snapshot::capture(&engine);
-    let loaded = Snapshot::from_bytes(&snapshot.to_bytes()).expect("wire roundtrip");
+    let loaded = Snapshot::from_bytes(&snapshot.to_bytes().expect("encode")).expect("wire roundtrip");
     let meta = loaded.meta();
     assert_eq!(meta.world_days, world.config.days);
     assert_eq!(meta.world_scale, world.config.scale);
@@ -52,7 +52,7 @@ fn archived_router_infos_decode_and_verify() {
     let (world, fleet) = setup();
     let engine = HarvestEngine::build(&world, &fleet, 3..5);
     let loaded =
-        Snapshot::from_bytes(&Snapshot::capture(&engine).to_bytes()).expect("wire roundtrip");
+        Snapshot::from_bytes(&Snapshot::capture(&engine).to_bytes().expect("encode")).expect("wire roundtrip");
     let verified = loaded.verify_router_infos().expect("all wire records verify");
     assert_eq!(verified, loaded.total_rows());
     assert!(verified > 0, "a non-trivial world archives rows");
@@ -62,7 +62,7 @@ fn archived_router_infos_decode_and_verify() {
 fn corrupt_and_truncated_snapshots_are_rejected() {
     let (world, fleet) = setup();
     let engine = HarvestEngine::build(&world, &fleet, 0..2);
-    let bytes = Snapshot::capture(&engine).to_bytes();
+    let bytes = Snapshot::capture(&engine).to_bytes().expect("encode");
     // Flip one byte in the middle of the row table.
     let mut bad = bytes.clone();
     let mid = bytes.len() / 2;

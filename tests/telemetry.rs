@@ -58,10 +58,10 @@ fn snapshot_encoding_is_byte_identical_with_telemetry_on() {
     let world = k.world();
     let fleet = k.fleet();
     let engine = i2pscope::measure::engine::HarvestEngine::build(&world, &fleet, 0..k.days);
-    let bytes_off = Snapshot::capture(&engine).to_bytes();
+    let bytes_off = Snapshot::capture(&engine).to_bytes().expect("encode");
     timing::enable();
     let engine = i2pscope::measure::engine::HarvestEngine::build(&world, &fleet, 0..k.days);
-    let bytes_on = Snapshot::capture(&engine).to_bytes();
+    let bytes_on = Snapshot::capture(&engine).to_bytes().expect("encode");
     assert_eq!(bytes_off, bytes_on, ".i2ps encoding drifts when telemetry is enabled");
     // And the archive round-trips regardless of the plane's state.
     let decoded = Snapshot::from_bytes(&bytes_on).expect("decode");
